@@ -1,0 +1,31 @@
+# Convenience targets for the STONNE reproduction.
+
+.PHONY: install test bench report examples validate all clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro.experiments.report evaluation_report.md
+
+validate:
+	stonne validate
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran"
+
+all: install test bench
+
+clean:
+	rm -rf build src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

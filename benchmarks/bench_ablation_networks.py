@@ -1,0 +1,116 @@
+"""Ablation: swapping one network building block at a time.
+
+The paper's thesis is that accelerators decompose into interchangeable
+DN / MN / RN blocks. These ablations quantify what each block choice
+buys, holding everything else constant:
+
+- **Reduction network**: ART (3:1 adders, with accumulators) vs FAN
+  (2:1) vs plain RT vs linear accumulators — same fabric, same layer.
+- **Distribution network**: Tree vs Benes multicast cost.
+- **Multiplier forwarding**: LMN vs DMN on a sliding-window convolution.
+"""
+
+from benchmarks.conftest import print_section
+from repro.config import ConvLayerSpec, maeri_like
+from repro.config.hardware import DistributionKind, MultiplierKind, ReductionKind
+from repro.engine.accelerator import Accelerator
+from repro.experiments.runner import format_table
+
+LAYER = ConvLayerSpec(r=3, s=3, c=16, k=16, x=18, y=18, name="ablation-conv")
+
+
+def _run(config):
+    acc = Accelerator(config)
+    tile = acc.mapper.tile_for_conv(LAYER)
+    result = acc.dense_controller.run_conv(LAYER, tile)
+    energy = acc.report.config and None
+    return acc, result
+
+
+def test_ablation_reduction_networks(run_once):
+    def sweep():
+        rows = []
+        for kind in (ReductionKind.ART, ReductionKind.FAN, ReductionKind.RT,
+                     ReductionKind.LINEAR):
+            config = maeri_like(64, 32, reduction=kind,
+                                accumulation_buffer=kind is not ReductionKind.RT)
+            acc = Accelerator(config)
+            tile = acc.mapper.tile_for_conv(LAYER)
+            result = acc.dense_controller.run_conv(LAYER, tile)
+            from repro.engine.energy import EnergyTable, energy_report
+
+            table = EnergyTable.for_config(config.technology_nm, config.dtype)
+            energy = energy_report(acc.rn.counters, table)
+            rows.append({
+                "reduction": kind.value,
+                "cycles": result.cycles,
+                "rn_energy_uj": round(energy.by_group_uj.get("RN", 0.0), 4),
+                "utilization": round(result.multiplier_utilization, 3),
+            })
+        return rows
+
+    rows = run_once(sweep)
+    print_section("Ablation — reduction network choice (64 MS, bw 32)")
+    print(format_table(rows))
+    by_kind = {r["reduction"]: r for r in rows}
+    # the linear RN serializes cluster accumulation: strictly slower
+    assert by_kind["LRN"]["cycles"] > by_kind["ART"]["cycles"]
+    # RT's power-of-two restriction never helps (ties are possible when
+    # both mappers settle on the same channel-sliced tile)
+    assert by_kind["RT"]["cycles"] >= by_kind["ART"]["cycles"] - 2
+    # FAN's 2:1 adders are cheaper per reduction than ART's 3:1 switches
+    assert by_kind["FAN"]["rn_energy_uj"] < by_kind["ART"]["rn_energy_uj"]
+
+
+def test_ablation_distribution_networks(run_once):
+    def sweep():
+        rows = []
+        for kind in (DistributionKind.TREE, DistributionKind.BENES):
+            config = maeri_like(64, 16, distribution=kind)
+            acc = Accelerator(config)
+            tile = acc.mapper.tile_for_conv(LAYER)
+            result = acc.dense_controller.run_conv(LAYER, tile)
+            rows.append({
+                "distribution": kind.value,
+                "cycles": result.cycles,
+                "dn_switch_traversals": acc.dn.counters["dn_switch_traversals"],
+            })
+        return rows
+
+    rows = run_once(sweep)
+    print_section("Ablation — distribution network choice (64 MS, bw 16)")
+    print(format_table(rows))
+    by_kind = {r["distribution"]: r for r in rows}
+    # both are non-blocking multicast fabrics: same timing...
+    assert by_kind["TN"]["cycles"] == by_kind["BN"]["cycles"]
+    # ...but the Benes pays more switch activity per element
+    assert (by_kind["BN"]["dn_switch_traversals"]
+            > by_kind["TN"]["dn_switch_traversals"])
+
+
+def test_ablation_forwarding_links(run_once):
+    def sweep():
+        # hold a window-style mapping fixed so the ablation isolates the
+        # links (sliding-window reuse only exists for spatial tiles)
+        from repro.config import TileConfig
+
+        tile = TileConfig(t_r=3, t_s=3, t_c=4)
+        rows = []
+        for kind in (MultiplierKind.LINEAR, MultiplierKind.DISABLED):
+            config = maeri_like(64, 16, multiplier=kind)
+            acc = Accelerator(config)
+            result = acc.dense_controller.run_conv(LAYER, tile)
+            rows.append({
+                "multiplier_network": kind.value,
+                "cycles": result.cycles,
+                "gb_reads": acc.gb.counters["gb_reads"],
+            })
+        return rows
+
+    rows = run_once(sweep)
+    print_section("Ablation — LMN forwarding vs DMN on a sliding-window conv")
+    print(format_table(rows))
+    lmn, dmn = rows
+    # sliding-window reuse cuts both runtime and GB read traffic
+    assert lmn["cycles"] <= dmn["cycles"]
+    assert lmn["gb_reads"] < dmn["gb_reads"]

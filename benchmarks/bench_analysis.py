@@ -1,0 +1,39 @@
+"""Analysis benches: the "why" behind Fig. 5, quantified.
+
+Layer-kind cycle breakdown per architecture and average multiplier
+utilization — the mechanisms (stranded PEs on rigid fabrics, factorized
+convolutions) the paper's prose uses to explain its headline results.
+"""
+
+from benchmarks.conftest import print_section
+from repro.experiments.analysis import (
+    dominant_kind,
+    run_layer_kind_breakdown,
+    utilization_by_architecture,
+)
+from repro.experiments.runner import format_table
+
+MODELS = ("mobilenets", "resnet50", "vgg16", "bert")
+
+
+def test_layer_kind_breakdown(run_once):
+    rows = run_once(run_layer_kind_breakdown, models=MODELS)
+    print_section("Analysis — cycle share per (architecture, layer kind)")
+    print(format_table(rows))
+    for arch in ("tpu", "maeri", "sigma"):
+        print(f"{arch}: dominant layer kind = {dominant_kind(rows, arch)}")
+    # depthwise (factorized) convolutions weigh heavier on the rigid fabric
+    def depthwise_share(arch):
+        hits = [r["share"] for r in rows
+                if r["arch"] == arch and r["layer_kind"] == "depthwise-conv"]
+        return hits[0] if hits else 0.0
+
+    assert depthwise_share("tpu") > depthwise_share("maeri")
+
+
+def test_multiplier_utilization(run_once):
+    rows = run_once(utilization_by_architecture, models=MODELS)
+    print_section("Analysis — average multiplier utilization per architecture")
+    print(format_table(rows))
+    by_arch = {r["arch"]: r["avg_multiplier_utilization"] for r in rows}
+    assert by_arch["maeri"] > by_arch["tpu"]

@@ -1,0 +1,21 @@
+"""Fig. 1a: cycle-level vs analytical model on OS systolic arrays.
+
+Paper claim: for rigid systolic fabrics the two agree almost exactly
+across 16x16 / 32x32 / 64x64 PE arrays.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.experiments.fig1 import run_fig1a
+from repro.experiments.runner import format_table
+
+
+def test_fig1a_systolic_vs_analytical(run_once):
+    rows = run_once(run_fig1a)
+    print_section("Fig. 1a — OS systolic array: STONNE (ST) vs analytical (AM)")
+    print(format_table(rows))
+    diffs = [abs(r["diff_pct"]) for r in rows]
+    print(f"\naverage |ST-AM| difference: {np.mean(diffs):.2f}% "
+          f"(paper: near-identical)")
+    assert np.mean(diffs) < 5.0

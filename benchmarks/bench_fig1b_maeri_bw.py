@@ -1,0 +1,29 @@
+"""Fig. 1b: MAERI-like fabric under bandwidth pressure.
+
+Paper claim: the analytical model matches at full bandwidth (1.03 % avg
+difference) and underestimates by up to ~400 % at 32 elements/cycle.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.experiments.fig1 import MAERI_BANDWIDTHS, run_fig1b
+from repro.experiments.runner import format_table
+
+
+def test_fig1b_maeri_bandwidth_sweep(run_once):
+    rows = run_once(run_fig1b)
+    print_section(
+        "Fig. 1b — 128-MS MAERI-like: STONNE vs analytical across GB bandwidth"
+    )
+    print(format_table(rows))
+    print()
+    for bw in MAERI_BANDWIDTHS:
+        ratios = [r["st_over_am"] for r in rows if r["bandwidth"] == bw]
+        print(f"bw={bw:3d}: mean ST/AM = {np.mean(ratios):.2f}, "
+              f"max = {np.max(ratios):.2f}")
+
+    full = np.mean([r["st_over_am"] for r in rows if r["bandwidth"] == 128])
+    starved = [r["st_over_am"] for r in rows if r["bandwidth"] == 32]
+    assert full < 1.10
+    assert max(starved) > 2.0  # paper: up to ~4x on M-FC

@@ -1,0 +1,30 @@
+"""Fig. 1c: SIGMA-like sparse execution vs the analytical model.
+
+Paper claim: perfect match at 0 % sparsity; divergence grows with the
+sparsity ratio (up to ~92 % at 90 %), because the actual distribution of
+zeros sets the dynamic cluster sizes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.experiments.fig1 import SPARSITY_LEVELS, run_fig1c
+from repro.experiments.runner import format_table
+
+
+def test_fig1c_sigma_sparsity_sweep(run_once):
+    rows = run_once(run_fig1c)
+    print_section(
+        "Fig. 1c — 128-MS SIGMA-like: STONNE vs analytical across sparsity"
+    )
+    print(format_table(rows))
+    print()
+    for sparsity in SPARSITY_LEVELS:
+        ratios = [r["st_over_am"] for r in rows if r["sparsity"] == sparsity]
+        print(f"sparsity={sparsity:.1f}: mean ST/AM = {np.mean(ratios):.2f}, "
+              f"max = {np.max(ratios):.2f}")
+
+    dense = np.mean([r["st_over_am"] for r in rows if r["sparsity"] == 0.0])
+    sparse = [r["st_over_am"] for r in rows if r["sparsity"] == 0.9]
+    assert dense < 1.10
+    assert max(sparse) > 1.5

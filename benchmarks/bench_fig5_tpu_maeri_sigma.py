@@ -1,0 +1,54 @@
+"""Fig. 5: full-model comparison of TPU-, MAERI- and SIGMA-like designs.
+
+Paper claims: (a) MAERI ~20 % faster than the TPU on average (max on
+MobileNets), SIGMA ~91 % faster than MAERI via sparsity; (b) the reduction
+network dominates energy (84 / 58 / 43 % for TPU / MAERI / SIGMA) and
+SIGMA is the most energy-efficient; (c) the GB SRAM dominates area
+(70-82 %) and the TPU-like fabric is the smallest.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.experiments.fig5 import run_fig5, run_fig5c, summarize_speedups
+from repro.experiments.runner import ascii_bar_chart, format_table
+
+
+def test_fig5a_cycles(run_once):
+    rows = run_once(run_fig5)
+    print_section("Fig. 5a — full-model cycles per (model, architecture)")
+    print(format_table(rows, ["model", "arch", "cycles"]))
+    print()
+    print(ascii_bar_chart(
+        [f"{r['model']}/{r['arch']}" for r in rows],
+        [r["cycles"] for r in rows],
+        unit=" cycles",
+    ))
+    summary = summarize_speedups(rows)
+    print(f"\nMAERI speedup over TPU: avg {summary['avg_maeri_speedup_over_tpu']:.2f}x"
+          f" (max {summary['max_maeri_speedup_over_tpu']:.2f}x,"
+          f" min {summary['min_maeri_speedup_over_tpu']:.2f}x)")
+    print(f"SIGMA speedup over MAERI: avg {summary['avg_sigma_speedup_over_maeri']:.2f}x")
+    assert summary["min_maeri_speedup_over_tpu"] > 1.0
+    assert summary["avg_sigma_speedup_over_maeri"] > 1.5
+
+    print_section("Fig. 5b — energy breakdown (uJ) per (model, architecture)")
+    print(format_table(rows, [
+        "model", "arch", "energy_gb_uj", "energy_dn_uj", "energy_mn_uj",
+        "energy_rn_uj", "energy_total_uj",
+    ]))
+    for arch in ("tpu", "maeri", "sigma"):
+        share = np.mean([r["energy_rn_share"] for r in rows if r["arch"] == arch])
+        print(f"{arch}: average RN energy share = {share:.0%}")
+
+
+def test_fig5c_area(run_once):
+    rows = run_once(run_fig5c)
+    print_section("Fig. 5c — area estimations (um^2)")
+    print(format_table(rows, [
+        "arch", "area_gb_um2", "area_dn_um2", "area_mn_um2", "area_rn_um2",
+        "total_um2", "area_gb_share",
+    ]))
+    by_arch = {r["arch"]: r for r in rows}
+    assert by_arch["tpu"]["total_um2"] < by_arch["sigma"]["total_um2"]
+    assert by_arch["sigma"]["total_um2"] < by_arch["maeri"]["total_um2"]

@@ -1,0 +1,35 @@
+"""Fig. 6: SNAPEA vs its baseline on the four CNN models.
+
+Paper claims: ~35 % average speedup (6a), ~21 % energy saving (6b), ~30 %
+fewer operations (6c) and ~16 % fewer memory accesses (6d), with
+SqueezeNet among the most improved models.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.runner import format_table
+
+
+def test_fig6_snapea(run_once):
+    rows = run_once(run_fig6, num_images=4)
+    print_section("Fig. 6a/6b — SNAPEA speedup and normalized energy")
+    print(format_table(rows, ["model", "speedup", "normalized_energy"]))
+    print_section("Fig. 6c — computed operations")
+    print(format_table(rows, [
+        "model", "baseline_ops", "snapea_ops", "ops_reduction",
+    ]))
+    print_section("Fig. 6d — memory accesses")
+    print(format_table(rows, [
+        "model", "baseline_mem", "snapea_mem", "mem_reduction",
+    ]))
+    print(f"\naverage speedup: {np.mean([r['speedup'] for r in rows]):.2f}x "
+          f"(paper: ~1.35x)")
+    print(f"average ops cut: {np.mean([r['ops_reduction'] for r in rows]):.1%} "
+          f"(paper: ~30%)")
+
+    assert all(r["speedup"] > 1.0 for r in rows)
+    assert all(r["normalized_energy"] < 1.0 for r in rows)
+    assert all(r["ops_reduction"] > 0 for r in rows)
+    assert all(r["mem_reduction"] > 0 for r in rows)

@@ -1,0 +1,39 @@
+"""Fig. 7: sparse filter statistics on a 256-MS flexible fabric.
+
+Paper claims: (a) several entire filters map simultaneously for most
+models, with AlexNet and BERT mapping the fewest (their filters are the
+largest); (b) effective filter sizes vary widely within a layer — the
+variability LFF scheduling exploits.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.experiments.fig7 import run_fig7a, run_fig7b
+from repro.experiments.runner import format_table
+
+
+def test_fig7a_filters_mappable(run_once):
+    rows = run_once(run_fig7a)
+    print_section("Fig. 7a — avg entire filters mappable on a 256-MS fabric")
+    print(format_table(rows))
+    by_model = {r["model"]: r["avg_filters_mappable"] for r in rows}
+    ranked = sorted(by_model, key=by_model.get)
+    assert set(ranked[:2]) == {"alexnet", "bert"}
+
+
+def test_fig7b_filter_size_variability(run_once):
+    sizes = run_once(run_fig7b)
+    print_section("Fig. 7b — effective filter sizes, first layer of each model")
+    rows = []
+    for model, values in sizes.items():
+        rows.append({
+            "model": model,
+            "filters": len(values),
+            "min_size": int(np.min(values)),
+            "mean_size": round(float(np.mean(values)), 1),
+            "max_size": int(np.max(values)),
+        })
+    print(format_table(rows))
+    for model, values in sizes.items():
+        assert max(values) > min(values), model

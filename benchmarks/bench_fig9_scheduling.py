@@ -1,0 +1,40 @@
+"""Fig. 9: static filter scheduling on a 256-MS SIGMA-like accelerator.
+
+Paper claims: (a) LFF is ~7 % faster than No-Scheduling on average (1-11 %
+per model) while Random gains nothing; (b) energy savings are small
+(1-6 %); (c) ResNet-50 layers split into low / medium / high LFF
+sensitivity groups.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.experiments.fig9 import run_fig9, run_fig9c
+from repro.experiments.runner import format_table
+
+
+def test_fig9ab_scheduling_policies(run_once):
+    rows = run_once(run_fig9)
+    print_section("Fig. 9a/9b — normalized runtime & energy per policy")
+    print(format_table(rows, [
+        "model", "policy", "cycles", "normalized_runtime",
+        "normalized_energy", "ms_mapping_utilization",
+    ]))
+    lff = [r["normalized_runtime"] for r in rows if r["policy"] == "LFF"]
+    rdm = [r["normalized_runtime"] for r in rows if r["policy"] == "RDM"]
+    print(f"\naverage LFF runtime gain: {1 - np.mean(lff):.1%} (paper: ~7%)")
+    print(f"average RDM runtime gain: {1 - np.mean(rdm):.1%} (paper: ~0%)")
+    assert np.mean(lff) < 0.97
+    assert abs(np.mean(rdm) - 1.0) < 0.03
+
+
+def test_fig9c_resnet_layer_sensitivity(run_once):
+    layers = run_once(run_fig9c)
+    print_section("Fig. 9c — per-layer LFF sensitivity, 14 ResNet-50 layers")
+    print(format_table(layers, [
+        "label", "layer", "ns_cycles", "lff_cycles",
+        "normalized_runtime", "normalized_energy",
+    ]))
+    runtimes = [r["normalized_runtime"] for r in layers]
+    assert min(runtimes) < 0.95
+    assert max(runtimes) >= 0.999

@@ -1,0 +1,32 @@
+"""Table V: timing validation against the published RTL cycle counts.
+
+Paper result: errors of 0.14-3.10 % (1.53 % average) against the MAERI
+BSV, SIGMA Verilog and SCALE-Sim TPU RTL. Our reproduction's error per
+design is documented in EXPERIMENTS.md (TPU exact; SIGMA within ~4 %;
+MAERI within ~20 % — the BSV pipeline has details we could not
+reverse-engineer from the paper).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.experiments.runner import format_table
+from repro.experiments.tablev import run_tablev
+
+
+def test_tablev_timing_validation(run_once):
+    rows = run_once(run_tablev)
+    print_section("Table V — timing accuracy vs RTL implementations")
+    print(format_table(rows, [
+        "design", "layer", "M", "N", "K",
+        "rtl_cycles", "paper_stonne_cycles", "repro_cycles", "error_vs_rtl_pct",
+    ]))
+    errors = [r["error_vs_rtl_pct"] for r in rows]
+    print(f"\naverage error vs RTL: {np.mean(errors):.2f}% "
+          f"(paper's own STONNE: 1.53%)")
+
+    tpu_errors = [r["error_vs_rtl_pct"] for r in rows if r["design"] == "TPU"]
+    sigma_errors = [r["error_vs_rtl_pct"] for r in rows if r["design"] == "SIGMA"]
+    assert all(e == 0.0 for e in tpu_errors)
+    assert np.mean(sigma_errors) < 8.0
+    assert np.mean(errors) < 12.0

@@ -1,0 +1,27 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one figure/table of the paper's evaluation,
+prints the same rows/series the paper reports, and measures the harness
+runtime through pytest-benchmark. Heavy experiments run once per
+measurement (``rounds=1``) — the interesting output is the table, not a
+microsecond-stable timing of the simulator itself.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return _run
+
+
+def print_section(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")

@@ -1,0 +1,40 @@
+"""Pareto exploration across architecture templates.
+
+Sweeps a ResNet-style convolution over four architecture templates
+(TPU- / MAERI- / SIGMA- / Eyeriss-like), two fabric sizes and two
+bandwidth points, then reports the cycles-vs-energy Pareto front — the
+kind of early-design-stage exploration the paper positions STONNE for.
+
+Run: ``python examples/pareto_exploration.py``
+"""
+
+from repro.config import ConvLayerSpec
+from repro.experiments.dse import as_rows, pareto_front, sweep
+from repro.experiments.runner import format_table
+
+LAYER = ConvLayerSpec(r=3, s=3, c=32, k=32, x=18, y=18, name="resnet-style-conv")
+
+
+def main() -> None:
+    points = sweep(
+        LAYER,
+        architectures=("tpu", "maeri", "sigma", "eyeriss"),
+        sizes=(64, 256),
+        bandwidth_fractions=(1.0, 0.25),
+    )
+    print(f"design space for {LAYER.name} ({LAYER.num_macs} MACs):\n")
+    print(format_table(as_rows(points)))
+
+    front = pareto_front(points)
+    print("\ncycles-vs-energy Pareto front:")
+    print(format_table(as_rows(front)))
+    best_edp = min(points, key=lambda p: p.edp)
+    print(
+        f"\nlowest energy-delay product: {best_edp.arch} with "
+        f"{best_edp.num_ms} MSs at bandwidth {best_edp.bandwidth} "
+        f"(EDP {best_edp.edp:.1f} uJ x cycles)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+fully offline environments (legacy editable installs need no ``wheel``
+package or network access to build isolation dependencies).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Pure-Python reproduction of STONNE: cycle-level microarchitectural "
+        "simulation for DNN inference accelerators (IISWC 2021)"
+    ),
+    license="MIT",
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["stonne=repro.ui.cli:main"]},
+)

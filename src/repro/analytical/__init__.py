@@ -1,0 +1,33 @@
+"""Analytical models STONNE is compared against (paper Section II).
+
+These reproduce the *comparison baselines* of Fig. 1:
+
+- :mod:`repro.analytical.scalesim` — a SCALE-Sim-style closed-form model
+  of an output-stationary systolic array (Fig. 1a). Accurate for rigid
+  fabrics, because a systolic schedule really is a formula.
+- :mod:`repro.analytical.maeri_model` — the MAERI authors' style of
+  analytical model (Fig. 1b): steps-per-mapping plus ideal, perfectly
+  reused operand traffic. It matches cycle-level results at full
+  bandwidth and *underestimates* once bandwidth shrinks, because it
+  cannot see per-step delivery stalls.
+- :mod:`repro.analytical.sigma_model` — the SIGMA authors' style of model
+  (Fig. 1c): assumes uniformly distributed sparsity and perfect row
+  packing, so it diverges from cycle-level results as sparsity grows and
+  real zero *distributions* fragment the fabric.
+"""
+
+from repro.analytical.maeri_model import maeri_analytical_cycles
+from repro.analytical.scalesim import (
+    scalesim_conv_cycles,
+    scalesim_gemm_cycles,
+    scalesim_gemm_cycles_ws,
+)
+from repro.analytical.sigma_model import sigma_analytical_cycles
+
+__all__ = [
+    "maeri_analytical_cycles",
+    "scalesim_conv_cycles",
+    "scalesim_gemm_cycles",
+    "scalesim_gemm_cycles_ws",
+    "sigma_analytical_cycles",
+]

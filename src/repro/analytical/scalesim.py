@@ -1,0 +1,62 @@
+"""SCALE-Sim-style analytical model of an output-stationary systolic array.
+
+SCALE-Sim computes runtimes of rigid systolic arrays from closed-form
+expressions over the array dimensions and the GEMM shape. For the
+output-stationary dataflow, one ``m x k x n`` tile occupies
+
+``k + m + n - 2``
+
+cycles (the wavefront span: the last PE receives its last operand ``k-1 +
+(m-1) + (n-1)`` cycles after the first injection), and a larger GEMM runs
+``ceil(M/A) * ceil(N/A)`` such tiles back to back. This is the model
+STONNE's systolic engine is validated against in Fig. 1a — the two agree
+to within the engine's constant per-tile pipeline overhead.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config.layer import ConvLayerSpec, GemmSpec
+from repro.errors import ConfigurationError
+
+
+def scalesim_gemm_cycles(gemm: GemmSpec, array_dim: int) -> int:
+    """Analytical OS cycles of ``(M x K) @ (K x N)`` on an AxA array."""
+    if array_dim < 1:
+        raise ConfigurationError("array dimension must be >= 1")
+    m_tiles = math.ceil(gemm.m / array_dim)
+    n_tiles = math.ceil(gemm.n / array_dim)
+    cycles = 0
+    for mi in range(m_tiles):
+        tm = min(array_dim, gemm.m - mi * array_dim)
+        for ni in range(n_tiles):
+            tn = min(array_dim, gemm.n - ni * array_dim)
+            cycles += gemm.k + tm + tn - 2
+    return cycles
+
+
+def scalesim_gemm_cycles_ws(gemm: GemmSpec, array_dim: int) -> int:
+    """Analytical weight-stationary cycles on an AxA array.
+
+    Each ``k x n`` weight tile is preloaded (``k`` cycles, one row per
+    clock) and then streams all ``M`` activation rows; the last psum
+    drains ``k + n - 2`` cycles after the last injection.
+    """
+    if array_dim < 1:
+        raise ConfigurationError("array dimension must be >= 1")
+    k_tiles = math.ceil(gemm.k / array_dim)
+    n_tiles = math.ceil(gemm.n / array_dim)
+    cycles = 0
+    for ki in range(k_tiles):
+        tk = min(array_dim, gemm.k - ki * array_dim)
+        for ni in range(n_tiles):
+            tn = min(array_dim, gemm.n - ni * array_dim)
+            cycles += tk + (gemm.m + tk + tn - 2)
+    return cycles
+
+
+def scalesim_conv_cycles(layer: ConvLayerSpec, array_dim: int) -> int:
+    """Analytical OS cycles of a convolution lowered to per-group GEMMs."""
+    per_group = scalesim_gemm_cycles(layer.to_gemm(), array_dim)
+    return per_group * layer.g

@@ -1,0 +1,95 @@
+"""SIGMA-style analytical model (the Fig. 1c baseline).
+
+The SIGMA authors' model treats the fabric as an ideal multiply throughput
+machine over the *effective* (nonzero) work: a sparse-stationary GEMM with
+``nnz`` stationary nonzeros streaming ``N`` columns performs ``nnz * N``
+multiply-accumulates at ``num_ms`` per cycle, plus a stationary-load and a
+drain term:
+
+``cycles_AM = ceil(nnz * N / num_ms) + load + drain``
+
+The model matches cycle-level simulation for dense operands (rows tile the
+fabric exactly, so the multipliers really do stay fully busy) but
+*underestimates* increasingly as sparsity grows: the real controller maps
+whole rows whose data-dependent nonzero counts cannot pack the fabric
+perfectly, every round pays its own load and pipeline drain, and a round
+streams one column per cycle even when the mapped rows fill a fraction of
+the multipliers. The actual *distribution* of zeros — not just the ratio —
+sets the round count, which is exactly the effect the paper reports
+diverging by up to ~92 % at 90 % sparsity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def sigma_analytical_cycles(
+    nnz: int,
+    n_cols: int,
+    num_ms: int,
+    bandwidth: int,
+) -> int:
+    """Analytical runtime of a sparse-stationary GEMM on a SIGMA-like fabric.
+
+    ``nnz``: nonzeros of the stationary operand; ``n_cols``: streamed
+    columns.
+    """
+    if bandwidth < 1 or num_ms < 1:
+        raise ConfigurationError("bandwidth and num_ms must be positive")
+    if nnz < 0 or n_cols < 1:
+        raise ConfigurationError("nnz must be >= 0 and n_cols >= 1")
+    if nnz == 0:
+        return 1
+    compute = math.ceil(nnz * n_cols / num_ms)
+    load = math.ceil(min(nnz, num_ms) / bandwidth)
+    drain = max(1, math.ceil(math.log2(min(nnz, num_ms)))) + 1
+    return compute + load + drain
+
+
+def expected_row_nnz(k: int, sparsity: float) -> float:
+    """Mean nonzeros per stationary row under the uniform assumption."""
+    return k * (1.0 - sparsity)
+
+
+def uniform_sparse_matrix(
+    m: int, k: int, sparsity: float, seed: int = 0
+) -> np.ndarray:
+    """A random matrix with *exactly* the requested global sparsity.
+
+    Used by the Fig. 1c experiment to hand both models the same operand.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ConfigurationError(f"sparsity must be in [0, 1), got {sparsity}")
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((m, k)).astype(np.float32)
+    zeros = int(round(m * k * sparsity))
+    if zeros:
+        flat_idx = rng.choice(m * k, size=zeros, replace=False)
+        dense.ravel()[flat_idx] = 0.0
+    return dense
+
+
+def block_diagonal_sparse_matrix(
+    blocks: int, rows_per_block: int, cols_per_block: int,
+    sparsity: float, seed: int = 0,
+) -> np.ndarray:
+    """A block-diagonal stationary operand (grouped convolutions lowered
+    the way the sparse controller maps them), with uniform sparsity inside
+    each block."""
+    total_rows = blocks * rows_per_block
+    total_cols = blocks * cols_per_block
+    matrix = np.zeros((total_rows, total_cols), dtype=np.float32)
+    for b in range(blocks):
+        block = uniform_sparse_matrix(
+            rows_per_block, cols_per_block, sparsity, seed=seed + b
+        )
+        matrix[
+            b * rows_per_block : (b + 1) * rows_per_block,
+            b * cols_per_block : (b + 1) * cols_per_block,
+        ] = block
+    return matrix

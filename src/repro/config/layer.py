@@ -1,0 +1,159 @@
+"""Workload shape descriptors.
+
+The paper describes a DNN layer with 7+1 parameters as
+``Layer(R, S, C, K, N, X', Y')`` plus a group count ``G`` for factorized
+convolutions. :class:`ConvLayerSpec` captures exactly that, together with
+the input spatial dimensions and stride from which ``X'``/``Y'`` derive.
+GEMM workloads (fully-connected layers, transformer projections, and any
+convolution after im2col lowering) are described by :class:`GemmSpec`
+following the ``M x K times K x N`` convention used in Table V.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+class LayerKind(enum.Enum):
+    """Layer-type tags used throughout the evaluation (Table I)."""
+
+    CONV = "C"
+    FACTORIZED_CONV = "FC"
+    SQUEEZE_CONV = "SC"
+    EXPAND_CONV = "EC"
+    LINEAR = "L"
+    TRANSFORMER = "TR"
+    RESIDUAL = "RF"
+    POOL = "POOL"
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """Shape of a (possibly grouped) 2-D convolution layer.
+
+    Attributes follow the paper's notation:
+
+    - ``r``, ``s``: filter rows and columns.
+    - ``c``: input channels **per group**.
+    - ``k``: filters (output channels) **per group**.
+    - ``g``: number of groups (``g > 1`` models factorized convolutions,
+      e.g. the depthwise stages of MobileNets).
+    - ``n``: batch size.
+    - ``x``, ``y``: input rows and columns.
+    - ``stride``: convolution stride (same in both dimensions).
+    """
+
+    r: int
+    s: int
+    c: int
+    k: int
+    g: int = 1
+    n: int = 1
+    x: int = 1
+    y: int = 1
+    stride: int = 1
+    kind: LayerKind = LayerKind.CONV
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for field_name in ("r", "s", "c", "k", "g", "n", "x", "y", "stride"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"ConvLayerSpec.{field_name} must be a positive int, got {value!r}"
+                )
+        if self.x < self.r or self.y < self.s:
+            raise ConfigurationError(
+                f"input {self.x}x{self.y} smaller than filter {self.r}x{self.s}"
+            )
+
+    @property
+    def x_out(self) -> int:
+        """Output rows (the paper's ``X'``)."""
+        return (self.x - self.r) // self.stride + 1
+
+    @property
+    def y_out(self) -> int:
+        """Output columns (the paper's ``Y'``)."""
+        return (self.y - self.s) // self.stride + 1
+
+    @property
+    def filter_size(self) -> int:
+        """Number of weights in one filter (the dot-product length)."""
+        return self.r * self.s * self.c
+
+    @property
+    def num_filters(self) -> int:
+        """Total filters across all groups."""
+        return self.k * self.g
+
+    @property
+    def num_outputs(self) -> int:
+        """Total output activations produced by the layer."""
+        return self.n * self.g * self.k * self.x_out * self.y_out
+
+    @property
+    def num_macs(self) -> int:
+        """Multiply-accumulate operations for a dense execution."""
+        return self.num_outputs * self.filter_size
+
+    def to_gemm(self) -> "GemmSpec":
+        """Lower to the equivalent GEMM via im2col (per group, batch-folded).
+
+        ``M`` is the filter count per group, ``K`` the dot-product length
+        and ``N`` the number of output pixels across the batch. Grouped
+        convolutions lower to ``g`` independent GEMMs; we expose the
+        per-group GEMM and callers multiply by ``g``.
+        """
+        return GemmSpec(
+            m=self.k,
+            n=self.n * self.x_out * self.y_out,
+            k=self.filter_size,
+            name=self.name or "conv-gemm",
+        )
+
+    def with_batch(self, n: int) -> "ConvLayerSpec":
+        """Return a copy with a different batch size."""
+        return replace(self, n=n)
+
+
+@dataclass(frozen=True)
+class GemmSpec:
+    """Shape of a matrix multiplication ``(M x K) @ (K x N)``.
+
+    This is the Table V convention: ``M`` rows of the stationary matrix
+    (filters), ``K`` the reduction dimension, ``N`` the streaming columns.
+    """
+
+    m: int
+    n: int
+    k: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for field_name in ("m", "n", "k"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"GemmSpec.{field_name} must be a positive int, got {value!r}"
+                )
+
+    @property
+    def num_outputs(self) -> int:
+        return self.m * self.n
+
+    @property
+    def num_macs(self) -> int:
+        return self.m * self.n * self.k
+
+
+def linear_layer(in_features: int, out_features: int, batch: int = 1, name: str = "") -> GemmSpec:
+    """Describe a fully-connected layer as a GEMM.
+
+    Weights are ``out_features x in_features`` (stationary ``M x K``) and the
+    activations stream as ``in_features x batch``.
+    """
+    return GemmSpec(m=out_features, n=batch, k=in_features, name=name or "linear")

@@ -1,0 +1,293 @@
+"""Tile (mapping) configuration.
+
+A tile is the paper's ``Tile(T_R, T_S, T_C, T_G, T_K, T_N, T_X', T_Y')``:
+``T_R * T_S * T_C`` defines the dot-product (virtual neuron / cluster) size
+mapped onto the multiplier network, while
+``T_G * T_K * T_N * T_X' * T_Y'`` defines how many such clusters run in
+parallel. When the cluster is smaller than the full filter
+(``T_R*T_S*T_C < R*S*C``), the architecture must *fold*: the dot product is
+processed in several sequential steps whose partial results accumulate at
+the reduction-network boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config.layer import ConvLayerSpec, GemmSpec
+from repro.errors import ConfigurationError, MappingError
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """One mapping of a convolution layer onto the multiplier fabric."""
+
+    t_r: int = 1
+    t_s: int = 1
+    t_c: int = 1
+    t_g: int = 1
+    t_k: int = 1
+    t_n: int = 1
+    t_x: int = 1
+    t_y: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("t_r", "t_s", "t_c", "t_g", "t_k", "t_n", "t_x", "t_y"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"TileConfig.{field_name} must be a positive int, got {value!r}"
+                )
+
+    @property
+    def cluster_size(self) -> int:
+        """Multipliers used by one dot-product cluster (virtual neuron)."""
+        return self.t_r * self.t_s * self.t_c
+
+    @property
+    def num_clusters(self) -> int:
+        """Clusters mapped simultaneously onto the fabric."""
+        return self.t_g * self.t_k * self.t_n * self.t_x * self.t_y
+
+    @property
+    def multipliers_used(self) -> int:
+        return self.cluster_size * self.num_clusters
+
+    def validate_for(self, layer: ConvLayerSpec, num_ms: int) -> None:
+        """Reject tiles that do not fit the layer or the hardware."""
+        if self.multipliers_used > num_ms:
+            raise MappingError(
+                f"tile needs {self.multipliers_used} multipliers but the "
+                f"fabric has {num_ms}"
+            )
+        pairs = (
+            ("t_r", self.t_r, layer.r),
+            ("t_s", self.t_s, layer.s),
+            ("t_c", self.t_c, layer.c),
+            ("t_g", self.t_g, layer.g),
+            ("t_k", self.t_k, layer.k),
+            ("t_n", self.t_n, layer.n),
+            ("t_x", self.t_x, layer.x_out),
+            ("t_y", self.t_y, layer.y_out),
+        )
+        for name, tile_value, layer_value in pairs:
+            if tile_value > layer_value:
+                raise MappingError(
+                    f"tile {name}={tile_value} exceeds the layer dimension "
+                    f"({layer_value})"
+                )
+
+    def folds_for(self, layer: ConvLayerSpec) -> int:
+        """Sequential steps needed to cover one full filter with this tile."""
+        return (
+            math.ceil(layer.r / self.t_r)
+            * math.ceil(layer.s / self.t_s)
+            * math.ceil(layer.c / self.t_c)
+        )
+
+    def iterations_for(self, layer: ConvLayerSpec) -> int:
+        """Times the cluster set must be re-mapped to cover all outputs."""
+        return (
+            math.ceil(layer.g / self.t_g)
+            * math.ceil(layer.k / self.t_k)
+            * math.ceil(layer.n / self.t_n)
+            * math.ceil(layer.x_out / self.t_x)
+            * math.ceil(layer.y_out / self.t_y)
+        )
+
+
+def _divisors_descending(value: int, limit: int) -> list:
+    """Divisors of ``value`` that are <= ``limit``, largest first."""
+    return [d for d in range(min(value, limit), 0, -1) if value % d == 0]
+
+
+def _candidate_channel_slices(c: int, budget: int) -> list:
+    """Candidate ``t_c`` values: divisors of C (fold-exact) plus the largest
+    slice that fits (which may leave a ragged final fold)."""
+    candidates = set(_divisors_descending(c, budget))
+    candidates.add(min(c, budget))
+    return sorted(candidates, reverse=True)
+
+
+def _score_tile(
+    layer: ConvLayerSpec, tile: TileConfig, bandwidth: int, forwarding: bool
+) -> float:
+    """Estimated runtime of a tile: steps x per-step delivery stall.
+
+    This mirrors the dense controller's weight-stationary step model (the
+    mRNA-style mapper optimizes the same objective): a step must deliver
+    the fresh receptive-field slice of every *input-distinct* cluster
+    (the T_K filters of a group multicast and cost nothing extra), plus a
+    psum re-injection per cluster when folding.
+    """
+    folds = tile.folds_for(layer)
+    steps = tile.iterations_for(layer) * folds
+    input_clusters = tile.t_g * tile.t_n * tile.t_x * tile.t_y
+    window = tile.cluster_size
+    if forwarding and layer.r * layer.s > 1:
+        fresh_cols = min(tile.t_y * layer.stride, tile.t_s)
+        fresh = min(tile.t_r * tile.t_c * fresh_cols, window)
+    else:
+        fresh = window
+    slots = fresh * input_clusters + (tile.num_clusters if folds > 1 else 0)
+    step_cycles = max(1.0, math.ceil(slots / bandwidth))
+    return steps * step_cycles
+
+
+def generate_conv_tile(
+    layer: ConvLayerSpec,
+    num_ms: int,
+    bandwidth: int = 0,
+    forwarding: bool = True,
+    power_of_two_clusters: bool = False,
+) -> TileConfig:
+    """Choose a tile that minimizes estimated runtime, in the spirit of mRNA.
+
+    The mapper enumerates how to split the multiplier budget between the
+    dot-product slice (``t_r * t_s * t_c``) and parallel clusters
+    (filters first — they share their input window through DN multicast —
+    then output pixels), scoring each candidate with the controller's
+    step-delivery model. ``bandwidth`` defaults to the fabric width.
+    """
+    if num_ms < 1:
+        raise MappingError("cannot tile onto an empty fabric")
+    bandwidth = bandwidth or num_ms
+
+    window = layer.r * layer.s
+    if power_of_two_clusters:
+        # plain reduction trees only reduce power-of-two clusters: map the
+        # dot product along channels only, in power-of-two slices
+        candidates = []
+        t_c = 1
+        while t_c * 2 <= min(layer.c, num_ms):
+            t_c *= 2
+        while t_c >= 1:
+            budget = num_ms // t_c
+            t_k = min(layer.k, budget)
+            budget //= max(t_k, 1)
+            t_y = min(layer.y_out, budget)
+            candidates.append(TileConfig(t_c=t_c, t_k=t_k, t_y=max(t_y, 1)))
+            t_c //= 2
+            if len(candidates) >= 4:
+                break
+        best = None
+        best_score = None
+        for tile in candidates:
+            tile.validate_for(layer, num_ms)
+            score = _score_tile(layer, tile, bandwidth, forwarding=False)
+            if best_score is None or score < best_score:
+                best, best_score = tile, score
+        return best
+
+    candidates = []
+    if window > num_ms:
+        # degenerate: the spatial window alone exceeds the fabric; slice rows
+        t_r = max(1, num_ms // layer.s)
+        t_s = layer.s if t_r * layer.s <= num_ms else num_ms
+        t_r = t_r if t_r * t_s <= num_ms else 1
+        candidates.append(TileConfig(t_r=min(t_r, layer.r), t_s=min(t_s, layer.s)))
+    else:
+        for t_c in _candidate_channel_slices(layer.c, num_ms // window):
+            cluster = window * t_c
+            budget = num_ms // cluster
+            t_k = min(layer.k, budget)
+            budget //= max(t_k, 1)
+            t_y = min(layer.y_out, budget)
+            budget //= max(t_y, 1)
+            t_x = min(layer.x_out, budget)
+            budget //= max(t_x, 1)
+            t_g = min(layer.g, budget)
+            budget //= max(t_g, 1)
+            t_n = min(layer.n, max(budget, 1))
+            candidates.append(
+                TileConfig(
+                    t_r=layer.r, t_s=layer.s, t_c=t_c, t_g=t_g,
+                    t_k=t_k, t_n=t_n, t_x=t_x, t_y=t_y,
+                )
+            )
+    # GEMM-style candidates: fold the spatial window and slice channels
+    # only (cluster = t_c). These win when the receptive-field window does
+    # not divide the fabric cleanly.
+    if window > 1:
+        for t_c in _candidate_channel_slices(layer.c, num_ms):
+            budget = num_ms // t_c
+            t_k = min(layer.k, budget)
+            budget //= max(t_k, 1)
+            t_y = min(layer.y_out, budget)
+            budget //= max(t_y, 1)
+            t_g = min(layer.g, max(budget, 1))
+            candidates.append(
+                TileConfig(t_c=t_c, t_g=t_g, t_k=t_k, t_y=t_y)
+            )
+
+    best = None
+    best_score = None
+    for tile in candidates:
+        tile.validate_for(layer, num_ms)
+        score = _score_tile(layer, tile, bandwidth, forwarding)
+        if best_score is None or score < best_score or (
+            score == best_score and tile.cluster_size > best.cluster_size
+        ):
+            best, best_score = tile, score
+    return best
+
+
+def save_tile_file(tiles: dict, path) -> None:
+    """Write per-layer tile configurations as an INI file.
+
+    Each section is a layer name and holds the eight tile parameters —
+    the per-layer tile configuration the paper's modified models reference
+    next to the hardware ``.cfg`` file.
+    """
+    import configparser
+
+    parser = configparser.ConfigParser()
+    for layer_name, tile in tiles.items():
+        parser[layer_name] = {
+            "t_r": str(tile.t_r), "t_s": str(tile.t_s), "t_c": str(tile.t_c),
+            "t_g": str(tile.t_g), "t_k": str(tile.t_k), "t_n": str(tile.t_n),
+            "t_x": str(tile.t_x), "t_y": str(tile.t_y),
+        }
+    with open(path, "w", encoding="utf-8") as handle:
+        parser.write(handle)
+
+
+def load_tile_file(path) -> dict:
+    """Read a per-layer tile configuration file back into a dict."""
+    import configparser
+
+    from repro.errors import ConfigurationError
+
+    parser = configparser.ConfigParser()
+    read = parser.read(path)
+    if not read:
+        raise ConfigurationError(f"tile file not found: {path}")
+    tiles = {}
+    for layer_name in parser.sections():
+        section = parser[layer_name]
+        try:
+            tiles[layer_name] = TileConfig(
+                **{key: int(section.get(key, 1))
+                   for key in ("t_r", "t_s", "t_c", "t_g", "t_k", "t_n",
+                                "t_x", "t_y")}
+            )
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad tile values for layer {layer_name!r}: {exc}"
+            ) from exc
+    return tiles
+
+
+def generate_gemm_tile(
+    gemm: GemmSpec, num_ms: int, bandwidth: int = 0
+) -> TileConfig:
+    """Tile a GEMM: the reduction dim maps to ``t_c`` (cluster size), the
+    stationary rows to ``t_k`` and the streamed columns to ``t_y``."""
+    if num_ms < 1:
+        raise MappingError("cannot tile onto an empty fabric")
+    layer = ConvLayerSpec(
+        r=1, s=1, c=gemm.k, k=gemm.m, x=1, y=gemm.n, name=gemm.name or "gemm"
+    )
+    tile = generate_conv_tile(layer, num_ms, bandwidth, forwarding=False)
+    return TileConfig(t_c=tile.cluster_size, t_k=tile.t_k, t_y=tile.t_y)

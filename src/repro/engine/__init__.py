@@ -1,0 +1,37 @@
+"""The STONNE Simulation Engine (paper Sections III-IV).
+
+- :mod:`repro.engine.accelerator` — the top-level ``Accelerator`` class
+  that composes the configured building blocks, advances them cycle by
+  cycle and exposes the run entry points.
+- :mod:`repro.engine.systolic` — the cycle-by-cycle output-stationary
+  systolic array used by TPU-like (PoPN) configurations.
+- :mod:`repro.engine.mapper` — layer/tile → configuration signals.
+- :mod:`repro.engine.stats` — the Output Module: JSON summary + counter
+  file reporting.
+- :mod:`repro.engine.energy` / :mod:`repro.engine.area` — the table-based
+  energy and area models (Accelergy-style).
+"""
+
+from repro.engine.accelerator import Accelerator, LayerReport
+from repro.engine.area import AreaBreakdown, area_report
+from repro.engine.energy import EnergyBreakdown, EnergyTable, energy_report
+from repro.engine.mapper import Mapper
+from repro.engine.microsim import DenseMicroSim, MicroSimResult
+from repro.engine.stats import SimulationReport
+from repro.engine.systolic import SystolicEngine, SystolicRunResult
+
+__all__ = [
+    "Accelerator",
+    "AreaBreakdown",
+    "EnergyBreakdown",
+    "EnergyTable",
+    "LayerReport",
+    "DenseMicroSim",
+    "Mapper",
+    "MicroSimResult",
+    "SimulationReport",
+    "SystolicEngine",
+    "SystolicRunResult",
+    "area_report",
+    "energy_report",
+]

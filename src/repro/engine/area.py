@@ -1,0 +1,130 @@
+"""Table-based area model (paper Section III, Output Module).
+
+Area is a function of the *instantiated* hardware, not of activity: the
+model counts the building blocks a :class:`~repro.config.HardwareConfig`
+implies and prices each with a per-instance cost. The 28 nm constants are
+calibrated against the published synthesis-derived breakdowns (Fig. 5c):
+the Global Buffer SRAM dominates every design (70-82 % of total area), the
+TPU-like array is the smallest fabric, ART's 3:1 adder switches are the
+expensive part of MAERI, and SIGMA trades them for cheap 2:1 FAN adders
+plus a Benes fabric of many tiny switches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.hardware import (
+    DataType,
+    DistributionKind,
+    HardwareConfig,
+    MultiplierKind,
+    ReductionKind,
+)
+from repro.errors import ConfigurationError
+
+#: per-instance areas in um^2 at 28 nm, FP8 multipliers / FP32 psum adders
+_AREA_28NM: Dict[str, float] = {
+    "gb_per_kb": 2200.0,
+    "multiplier": 90.0,
+    "ms_forwarding_link": 60.0,
+    "accumulator": 80.0,
+    "adder_2to1": 110.0,
+    "adder_3to1": 180.0,
+    "art_horizontal_link": 40.0,
+    "fan_forwarding_link": 20.0,
+    "tree_switch": 30.0,
+    "benes_switch": 8.0,
+    "pop_link": 34.0,
+    "dense_controller": 5000.0,
+    "sparse_controller": 12000.0,
+}
+
+#: area scale per technology node relative to 28 nm (~ (node/28)^2)
+_NODE_SCALE = {7: 0.0625, 14: 0.25, 16: 0.33, 22: 0.62, 28: 1.0, 45: 2.6, 65: 5.4}
+
+#: datatype scale relative to FP8 for arithmetic blocks
+_DTYPE_SCALE = {
+    DataType.FP8: 1.0,
+    DataType.INT8: 0.8,
+    DataType.FP16: 2.1,
+    DataType.FP32: 4.2,
+}
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area per component group in um^2 (Fig. 5c's GB/DN/MN/RN split)."""
+
+    by_group_um2: Dict[str, float]
+
+    @property
+    def total_um2(self) -> float:
+        return sum(self.by_group_um2.values())
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total_um2 / 1e6
+
+    def share_of(self, group: str) -> float:
+        total = self.total_um2
+        return self.by_group_um2.get(group, 0.0) / total if total else 0.0
+
+
+def area_report(config: HardwareConfig) -> AreaBreakdown:
+    """Compute the area breakdown implied by a hardware configuration."""
+    if config.technology_nm not in _NODE_SCALE:
+        raise ConfigurationError(
+            f"no area table for technology node {config.technology_nm} nm"
+        )
+    node = _NODE_SCALE[config.technology_nm]
+    arith = _DTYPE_SCALE[config.dtype] * node
+
+    def cost(name: str, arithmetic: bool = False) -> float:
+        return _AREA_28NM[name] * (arith if arithmetic else node)
+
+    n = config.num_ms
+    by_group: Dict[str, float] = {}
+
+    # Global Buffer SRAM
+    by_group["GB"] = config.gb_size_kb * cost("gb_per_kb")
+
+    # Multiplier network
+    mn = n * cost("multiplier", arithmetic=True)
+    if config.multiplier is MultiplierKind.LINEAR:
+        mn += n * cost("ms_forwarding_link")
+    by_group["MN"] = mn
+
+    # Distribution network
+    if config.distribution is DistributionKind.TREE:
+        dn = (n - 1) * cost("tree_switch")
+    elif config.distribution is DistributionKind.BENES:
+        levels = 2 * max(1, math.ceil(math.log2(n))) + 1
+        dn = (n // 2) * levels * cost("benes_switch")
+    else:  # point-to-point
+        dn = n * cost("pop_link")
+    by_group["DN"] = dn
+
+    # Reduction network
+    if config.reduction is ReductionKind.LINEAR:
+        rn = n * cost("accumulator", arithmetic=True)
+    elif config.reduction in (ReductionKind.ART, ReductionKind.ART_ACC):
+        rn = (n - 1) * (cost("adder_3to1", arithmetic=True) + cost("art_horizontal_link"))
+        if config.accumulation_buffer or config.reduction is ReductionKind.ART_ACC:
+            rn += config.rn_bandwidth * cost("accumulator", arithmetic=True)
+    elif config.reduction is ReductionKind.FAN:
+        rn = (n - 1) * (cost("adder_2to1", arithmetic=True) + cost("fan_forwarding_link"))
+        rn += config.rn_bandwidth * cost("accumulator", arithmetic=True)
+    else:  # plain reduction tree
+        rn = (n - 1) * cost("adder_2to1", arithmetic=True)
+    by_group["RN"] = rn
+
+    # memory controller
+    if config.is_sparse:
+        by_group["CTRL"] = cost("sparse_controller")
+    else:
+        by_group["CTRL"] = cost("dense_controller")
+
+    return AreaBreakdown(by_group_um2=by_group)

@@ -1,0 +1,144 @@
+"""Reference micro-simulation: one clock at a time, through real queues.
+
+The production :class:`~repro.memory.dense_controller.DenseController`
+accounts steady phases in closed form (cycle-exact fast-forwarding). This
+module is its *honesty check*: a deliberately naive engine that executes
+the same mapping one cycle at a time — operand slots staged through a
+:class:`~repro.noc.fifo.Fifo`, drained at the distribution network's
+bandwidth, one multiply wave per completed step, a wave-pipelined
+reduction, and output draining at the RN port width.
+
+It is intentionally restricted to the unambiguous mapping regime
+(``folds == 1``, so no loop-ordering choice exists) and the test suite
+asserts its cycle counts equal the controller's there. It is also the one
+place the FIFO occupancy statistics the paper's output module reports are
+produced by an actual queue rather than bulk accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.config.hardware import HardwareConfig
+from repro.config.layer import ConvLayerSpec
+from repro.config.tile import TileConfig
+from repro.errors import MappingError
+from repro.memory.dense_controller import LAYER_SETUP_CYCLES
+from repro.noc.distribution import build_distribution_network
+from repro.noc.fifo import Fifo
+from repro.noc.reduction import build_reduction_network
+
+
+@dataclass(frozen=True)
+class MicroSimResult:
+    """Outcome of one micro-simulated layer."""
+
+    cycles: int
+    steps: int
+    fifo_pushes: int
+    fifo_peak_occupancy: int
+
+
+class DenseMicroSim:
+    """Cycle-by-cycle execution of a non-folding dense convolution."""
+
+    def __init__(self, config: HardwareConfig) -> None:
+        self.config = config
+        self.dn = build_distribution_network(
+            config.distribution, config.num_ms, config.dn_bandwidth
+        )
+        self.rn = build_reduction_network(
+            config.reduction, config.num_ms, config.rn_bandwidth,
+            config.accumulation_buffer,
+        )
+        self.step_fifo = Fifo("step-operands", depth=config.dn_fifo_depth)
+
+    def run_conv(self, layer: ConvLayerSpec, tile: TileConfig) -> MicroSimResult:
+        tile.validate_for(layer, self.config.num_ms)
+        if tile.folds_for(layer) != 1:
+            raise MappingError(
+                "the reference micro-simulation covers the folds == 1 regime"
+            )
+        cs = tile.cluster_size
+        k_iters = math.ceil(layer.k / tile.t_k) * math.ceil(layer.g / tile.t_g)
+        n_iters = math.ceil(layer.n / tile.t_n)
+        x_iters = math.ceil(layer.x_out / tile.t_x)
+        y_iters = math.ceil(layer.y_out / tile.t_y)
+
+        # per-step unique operand slots, exactly the controller's model
+        input_clusters = tile.t_g * tile.t_n * tile.t_x * tile.t_y
+        full_window = cs
+        if (self.config.multiplier.has_forwarding_links
+                and layer.r * layer.s > 1):
+            fresh_cols = min(tile.t_y * layer.stride, tile.t_s)
+            steady_window = min(tile.t_r * tile.t_c * fresh_cols, full_window)
+        else:
+            steady_window = full_window
+        full_slots = full_window * input_clusters
+        steady_slots = steady_window * input_clusters
+        if not self.dn.supports_multicast:
+            full_slots *= tile.t_k
+            steady_slots *= tile.t_k
+
+        w_unique = cs * tile.t_k * tile.t_g
+        w_dests = w_unique * tile.t_n * tile.t_x * tile.t_y
+        if not self.dn.supports_multicast:
+            w_unique = w_dests
+
+        clock = LAYER_SETUP_CYCLES
+        steps = 0
+        nc = tile.num_clusters
+        for _k in range(k_iters):
+            # stationary weight load of this phase, cycle by cycle
+            self.dn.enqueue(w_unique, w_dests)
+            while not self.dn.is_idle:
+                self.dn.cycle()
+                clock += 1
+            for _n in range(n_iters):
+                for _x in range(x_iters):
+                    for y in range(y_iters):
+                        slots = full_slots if y == 0 else steady_slots
+                        self.step_fifo.push(slots)
+                        # drain this step's operands at DN bandwidth
+                        pending = self.step_fifo.pop()
+                        self.dn.enqueue(max(pending, 1), max(pending, 1))
+                        delivery = 0
+                        while not self.dn.is_idle:
+                            self.dn.cycle()
+                            delivery += 1
+                        # the wave-pipelined reduction and the output port
+                        # bound the step from below
+                        drain = self.rn.output_cycles(nc)
+                        throughput = (
+                            1 if self.rn.pipelined
+                            else self.rn.reduction_latency(cs)
+                        )
+                        clock += max(1, delivery, throughput, drain)
+                        steps += 1
+
+        clock += self.dn.pipeline_latency + 1 + self.rn.reduction_latency(cs)
+        return MicroSimResult(
+            cycles=clock,
+            steps=steps,
+            fifo_pushes=self.step_fifo.pushes,
+            fifo_peak_occupancy=self.step_fifo.peak_occupancy,
+        )
+
+
+def compare_with_controller(
+    config: HardwareConfig, layer: ConvLayerSpec, tile: TileConfig
+) -> Tuple[int, int]:
+    """(micro-sim cycles, controller cycles) for the same mapping.
+
+    The dense controller additionally models DRAM stalls; they are zero
+    for workloads that fit the double-buffered GB, which the comparison
+    regime guarantees.
+    """
+    from repro.engine.accelerator import Accelerator
+
+    micro = DenseMicroSim(config).run_conv(layer, tile)
+    acc = Accelerator(config)
+    result = acc.dense_controller.run_conv(layer, tile)
+    return micro.cycles, result.cycles

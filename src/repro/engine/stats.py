@@ -1,0 +1,223 @@
+"""The Output Module (paper Section III).
+
+After every simulated operation the engine produces two artifacts, just
+like the original tool:
+
+1. a JSON-ready summary (performance, utilization, energy, area) that
+   "facilitates their processing through user-created scripts", and
+2. a *counter file* in a simple custom format listing the activity count
+   of every component event, from which the energy model computes the
+   consumed energy.
+
+:class:`SimulationReport` aggregates per-layer :class:`LayerReport`
+records over a whole model execution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.config.hardware import HardwareConfig
+from repro.engine.area import AreaBreakdown, area_report
+from repro.engine.energy import EnergyBreakdown, EnergyTable, energy_report
+from repro.noc.base import CounterSet
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """Statistics of one simulated operation (layer / GEMM / SpMM)."""
+
+    name: str
+    kind: str
+    cycles: int
+    macs: int
+    outputs: int
+    multiplier_utilization: float
+    counters: CounterSet
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def energy(self, config: HardwareConfig) -> EnergyBreakdown:
+        """Price this layer's activity with the configuration's table."""
+        table = EnergyTable.for_config(config.technology_nm, config.dtype)
+        return energy_report(
+            self.counters,
+            table,
+            cycles=self.cycles,
+            num_ms=config.num_ms,
+            gb_size_kb=config.gb_size_kb,
+            clock_ghz=config.clock_ghz,
+        )
+
+    def as_dict(self, config: Optional[HardwareConfig] = None) -> Dict:
+        record: Dict = {
+            "name": self.name,
+            "kind": self.kind,
+            "cycles": self.cycles,
+            "macs": self.macs,
+            "outputs": self.outputs,
+            "multiplier_utilization": round(self.multiplier_utilization, 6),
+        }
+        record.update(self.extra)
+        if config is not None:
+            energy = self.energy(config)
+            record["energy_uj"] = {
+                "by_group": {k: round(v, 6) for k, v in energy.by_group_uj.items()},
+                "static": round(energy.static_uj, 6),
+                "dram": round(energy.dram_uj, 6),
+                "total": round(energy.total_uj, 6),
+            }
+        return record
+
+
+class SimulationReport:
+    """Aggregated statistics of a whole simulation session."""
+
+    def __init__(self, config: HardwareConfig) -> None:
+        self.config = config
+        self.layers: List[LayerReport] = []
+
+    def append(self, layer: LayerReport) -> None:
+        self.layers.append(layer)
+
+    # ---- aggregates -----------------------------------------------------
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    def timeline(self) -> List[Dict]:
+        """Per-layer execution windows on the accelerator clock.
+
+        Layers execute back-to-back (the framework drives them serially,
+        as in the paper's Fig. 2b timeline), so each layer's window is
+        the running sum of its predecessors' cycles.
+        """
+        rows: List[Dict] = []
+        clock = 0
+        for layer in self.layers:
+            rows.append(
+                {
+                    "name": layer.name,
+                    "kind": layer.kind,
+                    "start_cycle": clock,
+                    "end_cycle": clock + layer.cycles,
+                    "cycles": layer.cycles,
+                    "share": (
+                        layer.cycles / self.total_cycles
+                        if self.total_cycles else 0.0
+                    ),
+                }
+            )
+            clock += layer.cycles
+        return rows
+
+    def merged_counters(self) -> CounterSet:
+        merged = CounterSet()
+        for layer in self.layers:
+            merged.merge(layer.counters)
+        return merged
+
+    def component_utilization(self) -> Dict[str, float]:
+        """Busy/usage fractions of the major components over the run.
+
+        The "compute unit utilization" the paper's output module reports,
+        extended with the DN port occupancy and GB traffic intensity.
+        """
+        cycles = self.total_cycles
+        if cycles == 0:
+            return {}
+        merged = self.merged_counters()
+        macs = self.total_macs
+        usage = {
+            "multiplier_utilization": macs / (self.config.num_ms * cycles),
+            "dn_port_occupancy": merged.get("dn_busy_cycles") / cycles,
+            "gb_read_port_occupancy": min(
+                1.0,
+                merged.get("gb_reads") / (self.config.dn_bandwidth * cycles),
+            ),
+            "gb_write_port_occupancy": min(
+                1.0,
+                merged.get("gb_writes") / (self.config.rn_bandwidth * cycles),
+            ),
+        }
+        return {key: round(value, 6) for key, value in usage.items()}
+
+    def total_energy(self) -> EnergyBreakdown:
+        table = EnergyTable.for_config(
+            self.config.technology_nm, self.config.dtype
+        )
+        return energy_report(
+            self.merged_counters(),
+            table,
+            cycles=self.total_cycles,
+            num_ms=self.config.num_ms,
+            gb_size_kb=self.config.gb_size_kb,
+            clock_ghz=self.config.clock_ghz,
+        )
+
+    def area(self) -> AreaBreakdown:
+        return area_report(self.config)
+
+    # ---- serialization --------------------------------------------------
+    def as_dict(self) -> Dict:
+        energy = self.total_energy()
+        area = self.area()
+        return {
+            "accelerator": self.config.name,
+            "num_ms": self.config.num_ms,
+            "dn_bandwidth": self.config.dn_bandwidth,
+            "total_cycles": self.total_cycles,
+            "total_macs": self.total_macs,
+            "runtime_us": self.total_cycles / (self.config.clock_ghz * 1e3),
+            "utilization": self.component_utilization(),
+            "energy_uj": {
+                "by_group": {k: round(v, 6) for k, v in energy.by_group_uj.items()},
+                "static": round(energy.static_uj, 6),
+                "dram": round(energy.dram_uj, 6),
+                "total": round(energy.total_uj, 6),
+            },
+            "area_um2": {
+                "by_group": {k: round(v, 2) for k, v in area.by_group_um2.items()},
+                "total": round(area.total_um2, 2),
+            },
+            "layers": [layer.as_dict() for layer in self.layers],
+        }
+
+    def to_json(self, path: Optional[Union[str, Path]] = None, indent: int = 2) -> str:
+        """The general JSON statistics file."""
+        text = json.dumps(self.as_dict(), indent=indent)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def to_counter_file(self, path: Optional[Union[str, Path]] = None) -> str:
+        """The customized counter file: one ``component.event = count`` line
+        per activity counter, aggregated over all layers."""
+        lines = ["# STONNE-repro activity counter file", f"# accelerator: {self.config.name}"]
+        merged = self.merged_counters()
+        for name in merged:
+            prefix, _, event = name.partition("_")
+            lines.append(f"{prefix}.{event} = {merged.get(name)}")
+        text = "\n".join(lines) + "\n"
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+
+def parse_counter_file(text: str) -> CounterSet:
+    """Read a counter file back into a :class:`CounterSet` (round-trip)."""
+    counters = CounterSet()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.partition("=")
+        component, _, event = key.strip().partition(".")
+        counters.add(f"{component}_{event}", int(value.strip()))
+    return counters

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the STONNE reproduction.
+
+All errors raised by the library derive from :class:`StonneError`, so
+callers can catch a single base class. The subclasses mirror the major
+subsystems: configuration, mapping, simulation and the API layer.
+"""
+
+from __future__ import annotations
+
+
+class StonneError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigurationError(StonneError):
+    """An invalid hardware or tile configuration was supplied.
+
+    Raised when a configuration file cannot be parsed, when parameter
+    values are out of range (e.g. a non-power-of-two multiplier count for
+    a tree-based network), or when the selected building blocks are
+    mutually incompatible (e.g. a sparse controller with a point-to-point
+    distribution network).
+    """
+
+
+class MappingError(StonneError):
+    """A layer cannot be mapped onto the configured accelerator.
+
+    Raised by the Mapper / Configuration Unit when a tile does not fit the
+    hardware (e.g. the tile requires more multipliers than the fabric
+    provides) or when the tile shape is inconsistent with the layer shape.
+    """
+
+
+class SimulationError(StonneError):
+    """The simulation engine reached an inconsistent state.
+
+    This indicates a bug in a component model (e.g. a FIFO overflow in a
+    component that claimed backpressure support) rather than a user error,
+    and is raised so problems never pass silently.
+    """
+
+
+class ApiError(StonneError):
+    """The STONNE API was driven in an invalid order.
+
+    For example ``RunOperation`` before any ``Configure*`` instruction, or
+    ``ConfigureData`` with tensors whose shapes disagree with the
+    configured layer.
+    """

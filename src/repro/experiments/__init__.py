@@ -1,0 +1,33 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Every module exposes a ``run_*`` function returning plain row dicts (so
+results are scriptable, like the paper's JSON output) and the benchmarks
+under ``benchmarks/`` print them in the same shape the paper reports.
+
+==================  ==========================================
+Module              Reproduces
+==================  ==========================================
+``fig1``            Fig. 1a/1b/1c (cycle-level vs analytical)
+``tablev``          Table V (timing validation vs RTL counts)
+``fig5``            Fig. 5a/5b/5c (TPU vs MAERI vs SIGMA)
+``fig6``            Fig. 6a-d (SNAPEA use case)
+``fig7``            Fig. 7a/7b (sparse filter statistics)
+``fig9``            Fig. 9a/9b/9c (filter scheduling use case)
+==================  ==========================================
+"""
+
+from repro.experiments import analysis, dse, fig1, fig5, fig6, fig7, fig9, tablev
+from repro.experiments.runner import format_table, geometric_mean
+
+__all__ = [
+    "analysis",
+    "dse",
+    "fig1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig9",
+    "format_table",
+    "geometric_mean",
+    "tablev",
+]

@@ -1,0 +1,91 @@
+"""Cross-cutting analyses over full-model runs.
+
+These answer the "why" behind the Fig. 5 results the way the paper's
+prose does — which layer *types* (Table I's dominant-type column) consume
+the cycles on each architecture, and where each fabric's weakness shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments.fig5 import ARCHITECTURES, run_model_on
+from repro.frontend.models import MODEL_NAMES
+
+
+def _kind_of(layer_name: str) -> str:
+    """Coarse layer-type tag recovered from the generated layer names."""
+    name = layer_name.lower()
+    if "dw" in name:
+        return "depthwise-conv"
+    if "pw" in name or "1x1" in name or "squeeze" in name:
+        return "pointwise-conv"
+    if "expand3x3" in name or "3x3" in name or "conv" in name or "head" in name:
+        return "conv"
+    if "fc" in name or "linear" in name or "classifier" in name or "proj" in name \
+            or name.endswith(("-q", "-k", "-v", "-o")) or "ffn" in name \
+            or "pooler" in name:
+        return "linear"
+    if "qk" in name or "av" in name or "matmul" in name:
+        return "attention-gemm"
+    if "pool" in name:
+        return "pool"
+    return "other"
+
+
+def run_layer_kind_breakdown(
+    models: Sequence[str] = MODEL_NAMES, seed: int = 0
+) -> List[Dict]:
+    """Share of cycles per (architecture, layer kind), across models."""
+    totals: Dict[str, Dict[str, int]] = {arch: {} for arch in ARCHITECTURES}
+    for model_name in models:
+        for arch in ARCHITECTURES:
+            acc = run_model_on(arch, model_name, seed=seed)
+            for layer in acc.report.layers:
+                kind = _kind_of(layer.name)
+                totals[arch][kind] = totals[arch].get(kind, 0) + layer.cycles
+
+    rows = []
+    for arch, kinds in totals.items():
+        total = sum(kinds.values())
+        for kind, cycles in sorted(kinds.items(), key=lambda kv: -kv[1]):
+            rows.append(
+                {
+                    "arch": arch,
+                    "layer_kind": kind,
+                    "cycles": cycles,
+                    "share": round(cycles / total, 4),
+                }
+            )
+    return rows
+
+
+def dominant_kind(rows: List[Dict], arch: str) -> str:
+    """The layer kind consuming the most cycles on ``arch``."""
+    candidates = [r for r in rows if r["arch"] == arch]
+    return max(candidates, key=lambda r: r["cycles"])["layer_kind"]
+
+
+def utilization_by_architecture(
+    models: Sequence[str] = MODEL_NAMES, seed: int = 0
+) -> List[Dict]:
+    """Average multiplier utilization per architecture across models —
+    the flexibility argument (rigid fabrics strand PEs) in one number."""
+    rows = []
+    for arch in ARCHITECTURES:
+        utils = []
+        for model_name in models:
+            acc = run_model_on(arch, model_name, seed=seed)
+            usage = acc.report.component_utilization()
+            utils.append(usage["multiplier_utilization"])
+        rows.append(
+            {
+                "arch": arch,
+                "avg_multiplier_utilization": round(float(np.mean(utils)), 4),
+                "min": round(float(np.min(utils)), 4),
+                "max": round(float(np.max(utils)), 4),
+            }
+        )
+    return rows

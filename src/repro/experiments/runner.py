@@ -1,0 +1,74 @@
+"""Shared experiment infrastructure: table formatting and small stats."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str] = ()) -> str:
+    """Render row dicts as an aligned text table (the bench output shape)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    cells = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(row[i].ljust(widths[i]) for i in range(len(columns)))
+        for row in cells
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def normalize(values: Sequence[float], reference: float) -> List[float]:
+    """Values divided by a reference (the paper's normalized plots)."""
+    if reference == 0:
+        raise ValueError("cannot normalize to a zero reference")
+    return [v / reference for v in values]
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart in plain text.
+
+    The benchmarks use this to render each figure's series the way the
+    paper plots them, without a plotting dependency.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(no data)"
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("bar chart values must include a positive maximum")
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        rendered = f"{value:g}{unit}"
+        lines.append(f"{str(label).ljust(label_width)} |{bar.ljust(width)} {rendered}")
+    return "\n".join(lines)

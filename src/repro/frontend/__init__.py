@@ -1,0 +1,77 @@
+"""The Input Module: a NumPy mini DL framework (paper Fig. 2).
+
+STONNE plugs into a DL framework as an accelerator device; the framework
+drives execution layer by layer, offloads compute-intensive operations to
+the simulator and runs the rest natively, so complete DNN models execute
+with real values. This package is that framework for the reproduction
+(see DESIGN.md for the PyTorch substitution rationale):
+
+- :mod:`repro.frontend.module` / :mod:`repro.frontend.layers` — the module
+  system and layer zoo (Conv2d, Linear, MaxPool2d, BatchNorm2d, ...).
+- :mod:`repro.frontend.functional` — the native CPU implementations
+  (the reference outputs for functional validation).
+- :mod:`repro.frontend.simulated` — the offloading glue: a
+  :class:`SimulationContext` attached to a model redirects its
+  compute-intensive layers to a simulated accelerator, exactly like the
+  paper's ``SimulatedConv2d`` / ``SimulatedLinear`` calls.
+- :mod:`repro.frontend.models` — scaled, structurally faithful versions
+  of the seven Table I models with Table I sparsity levels.
+- :mod:`repro.frontend.data` — seeded synthetic inputs.
+"""
+
+from repro.frontend.declarative import (
+    build_from_description,
+    describe,
+    load_network,
+)
+from repro.frontend.folding import fold_batchnorms, fold_conv_bn
+from repro.frontend.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    LayerNorm,
+    Linear,
+    LogSoftmax,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.frontend.module import Module, Parameter, Sequential
+from repro.frontend.simulated import (
+    SimulatedConv2d,
+    SimulatedLinear,
+    SimulatedMaxPool2d,
+    SimulationContext,
+    attach_context,
+    detach_context,
+    simulate,
+)
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Flatten",
+    "LayerNorm",
+    "Linear",
+    "LogSoftmax",
+    "MaxPool2d",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "SimulatedConv2d",
+    "SimulatedLinear",
+    "SimulatedMaxPool2d",
+    "SimulationContext",
+    "Softmax",
+    "attach_context",
+    "build_from_description",
+    "describe",
+    "detach_context",
+    "fold_batchnorms",
+    "fold_conv_bn",
+    "load_network",
+    "simulate",
+]

@@ -1,0 +1,42 @@
+"""Seeded synthetic inputs.
+
+Functional validation (paper Section V) only needs *identical inputs* fed
+to the native and simulated paths; these generators provide deterministic
+image batches and token sequences standing in for the ImageNet / COCO /
+SQuAD samples (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def synthetic_images(
+    batch: int = 1, channels: int = 3, size: int = 32, seed: int = 0
+) -> np.ndarray:
+    """Normalized image-like tensors (N, C, H, W) with spatial structure.
+
+    A mixture of low-frequency gradients and noise, roughly matching the
+    statistics of normalized natural images (zero mean, unit-ish scale) so
+    that ReLU sparsity and value magnitudes behave plausibly.
+    """
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:size, 0:size] / max(size - 1, 1)
+    images = np.empty((batch, channels, size, size), dtype=np.float32)
+    for n in range(batch):
+        for c in range(channels):
+            gx, gy, phase = rng.uniform(-2, 2, size=3)
+            smooth = np.sin(2 * np.pi * (gx * xx + gy * yy) + phase)
+            noise = rng.standard_normal((size, size)) * 0.3
+            images[n, c] = smooth + noise
+    images -= images.mean()
+    images /= images.std() + 1e-8
+    return images.astype(np.float32)
+
+
+def synthetic_token_ids(
+    batch: int = 1, seq_len: int = 16, vocab_size: int = 100, seed: int = 0
+) -> np.ndarray:
+    """Random token id sequences (N, L) standing in for tokenized text."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, vocab_size, size=(batch, seq_len), dtype=np.int64)

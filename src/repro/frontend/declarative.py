@@ -1,0 +1,178 @@
+"""Declarative (Caffe-style) model descriptions.
+
+The original tool integrates two front-ends: PyTorch (imperative, the
+:mod:`repro.frontend.module` analogue) and Caffe, whose networks are
+*declared* in prototxt files rather than written as code. This module is
+the Caffe-flavoured path of the reproduction: a network is a list of layer
+declarations (dicts, or a JSON document), compiled into the same
+:class:`~repro.frontend.module.Module` graph — so declared networks
+simulate, validate and offload exactly like imperative ones.
+
+Supported layer types::
+
+    {"type": "conv",      "name": ..., "in": C, "out": K, "kernel": k,
+     "stride": 1, "padding": 0, "groups": 1}
+    {"type": "linear",    "name": ..., "in": F, "out": G}
+    {"type": "relu"} | {"type": "softmax"} | {"type": "log_softmax"}
+    {"type": "maxpool",   "pool": p, "stride": p}
+    {"type": "avgpool",   "pool": p or null (global)}
+    {"type": "batchnorm", "channels": C}
+    {"type": "flatten"}
+
+Example::
+
+    net = build_from_description({
+        "name": "lenet-ish",
+        "layers": [
+            {"type": "conv", "in": 1, "out": 8, "kernel": 5},
+            {"type": "relu"},
+            {"type": "maxpool", "pool": 2},
+            {"type": "flatten"},
+            {"type": "linear", "in": 8 * 12 * 12, "out": 10},
+        ],
+    }, seed=0)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.frontend.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    LogSoftmax,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.frontend.module import Module, Sequential
+
+_REQUIRED_KEYS = {
+    "conv": ("in", "out", "kernel"),
+    "linear": ("in", "out"),
+    "maxpool": ("pool",),
+    "batchnorm": ("channels",),
+}
+
+
+def _build_layer(spec: Dict, index: int, rng: np.random.Generator) -> Module:
+    if "type" not in spec:
+        raise ConfigurationError(f"layer {index}: missing 'type'")
+    kind = str(spec["type"]).lower()
+    for key in _REQUIRED_KEYS.get(kind, ()):
+        if key not in spec:
+            raise ConfigurationError(
+                f"layer {index} ({kind}): missing required key {key!r}"
+            )
+    name = spec.get("name", f"{kind}{index}")
+
+    if kind == "conv":
+        return Conv2d(
+            int(spec["in"]), int(spec["out"]), int(spec["kernel"]),
+            stride=int(spec.get("stride", 1)),
+            padding=int(spec.get("padding", 0)),
+            groups=int(spec.get("groups", 1)),
+            bias=bool(spec.get("bias", True)),
+            name=name, rng=rng,
+        )
+    if kind == "linear":
+        return Linear(
+            int(spec["in"]), int(spec["out"]),
+            bias=bool(spec.get("bias", True)), name=name, rng=rng,
+        )
+    if kind == "relu":
+        return ReLU()
+    if kind == "softmax":
+        return Softmax(name=name)
+    if kind == "log_softmax":
+        return LogSoftmax(name=name)
+    if kind == "maxpool":
+        return MaxPool2d(int(spec["pool"]), int(spec.get("stride", spec["pool"])),
+                         name=name)
+    if kind == "avgpool":
+        pool = spec.get("pool")
+        return AvgPool2d(int(pool) if pool is not None else None, name=name)
+    if kind == "batchnorm":
+        return BatchNorm2d(int(spec["channels"]), name=name, rng=rng)
+    if kind == "flatten":
+        return Flatten()
+    raise ConfigurationError(f"layer {index}: unknown layer type {kind!r}")
+
+
+def build_from_description(description: Dict, seed: int = 0) -> Sequential:
+    """Compile a declarative network description into a Sequential model."""
+    if "layers" not in description or not description["layers"]:
+        raise ConfigurationError("a network description needs a 'layers' list")
+    rng = np.random.default_rng(seed)
+    layers: List[Module] = [
+        _build_layer(spec, index, rng)
+        for index, spec in enumerate(description["layers"])
+    ]
+    return Sequential(*layers, name=description.get("name", "declared-net"))
+
+
+def load_network(path: Union[str, Path], seed: int = 0) -> Sequential:
+    """Build a model from a JSON network description file."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"network description not found: {path}")
+    try:
+        description = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed network description: {exc}") from exc
+    return build_from_description(description, seed=seed)
+
+
+def describe(model: Sequential) -> Dict:
+    """The inverse: a description dict for a Sequential of known layers.
+
+    Lossy only in weights (descriptions declare structure; weights come
+    from the seed), so ``build_from_description(describe(m), seed)`` gives
+    a structurally identical network.
+    """
+    layers: List[Dict] = []
+    for layer in model.layers:
+        if isinstance(layer, Conv2d):
+            layers.append({
+                "type": "conv", "name": layer.name,
+                "in": layer.in_channels, "out": layer.out_channels,
+                "kernel": layer.kernel_size, "stride": layer.stride,
+                "padding": layer.padding, "groups": layer.groups,
+                "bias": layer.bias is not None,
+            })
+        elif isinstance(layer, Linear):
+            layers.append({
+                "type": "linear", "name": layer.name,
+                "in": layer.in_features, "out": layer.out_features,
+                "bias": layer.bias is not None,
+            })
+        elif isinstance(layer, MaxPool2d):
+            layers.append({"type": "maxpool", "name": layer.name,
+                           "pool": layer.pool, "stride": layer.stride})
+        elif isinstance(layer, AvgPool2d):
+            layers.append({"type": "avgpool", "name": layer.name,
+                           "pool": layer.pool})
+        elif isinstance(layer, BatchNorm2d):
+            layers.append({"type": "batchnorm", "name": layer.name,
+                           "channels": layer.channels})
+        elif isinstance(layer, ReLU):
+            layers.append({"type": "relu"})
+        elif isinstance(layer, Softmax):
+            layers.append({"type": "softmax"})
+        elif isinstance(layer, LogSoftmax):
+            layers.append({"type": "log_softmax"})
+        elif isinstance(layer, Flatten):
+            layers.append({"type": "flatten"})
+        else:
+            raise ConfigurationError(
+                f"cannot describe layer of type {type(layer).__name__}"
+            )
+    return {"name": model.name, "layers": layers}

@@ -1,0 +1,56 @@
+"""Batch-normalization folding (inference-time graph optimization).
+
+Folding absorbs an inference-mode BatchNorm into the convolution that
+feeds it (``w' = w * gamma/sqrt(var+eps)``, ``b' = (b - mean) * s + beta``)
+and resets the BN to the identity. This is the standard deployment
+transformation, and it is also what makes SNAPEA's sign-check *exact* on
+BN networks like ResNet-50: after folding, every convolution's output is
+the value the subsequent ReLU sees, so a non-positive psum really does
+mean a zero activation.
+
+Detection is structural: within each container, a ``BatchNorm2d`` that
+immediately follows a ``Conv2d`` with matching channel count (the way
+every block in :mod:`repro.frontend.models` is laid out) is folded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend.layers import BatchNorm2d, Conv2d
+from repro.frontend.module import Module, Parameter
+
+_EPS = 1e-5
+
+
+def fold_conv_bn(conv: Conv2d, bn: BatchNorm2d) -> None:
+    """Fold ``bn`` into ``conv`` in place and reset ``bn`` to identity."""
+    scale = bn.gamma.data / np.sqrt(bn.running_var.data + _EPS)
+    shift = bn.beta.data - bn.running_mean.data * scale
+    conv.weight.data = conv.weight.data * scale[:, None, None, None]
+    old_bias = conv.bias.data if conv.bias is not None else 0.0
+    conv.bias = Parameter(old_bias * scale + shift)
+    bn.gamma = Parameter(np.ones(bn.channels))
+    bn.beta = Parameter(np.zeros(bn.channels))
+    bn.running_mean = Parameter(np.zeros(bn.channels))
+    bn.running_var = Parameter(np.ones(bn.channels) - _EPS)
+
+
+def fold_batchnorms(model: Module) -> int:
+    """Fold every conv->BN pair found in the model; returns the count.
+
+    Pairs are detected per container in attribute-declaration order,
+    which matches execution order for every block in the model zoo.
+    """
+    folded = 0
+    for module in model.modules():
+        children = list(module._modules.values())
+        for left, right in zip(children, children[1:]):
+            if (
+                isinstance(left, Conv2d)
+                and isinstance(right, BatchNorm2d)
+                and left.out_channels == right.channels
+            ):
+                fold_conv_bn(left, right)
+                folded += 1
+    return folded

@@ -1,0 +1,24 @@
+"""The seven evaluation models of Table I, scaled (see DESIGN.md).
+
+Use :func:`repro.frontend.models.zoo.build_model` /
+:func:`repro.frontend.models.zoo.model_input` to obtain a pruned model and
+matching synthetic inputs. Per-model sparsity ratios follow Table I.
+"""
+
+from repro.frontend.models.zoo import (
+    MODEL_INFO,
+    MODEL_NAMES,
+    REPRESENTATIVE_LAYERS,
+    ModelInfo,
+    build_model,
+    model_input,
+)
+
+__all__ = [
+    "MODEL_INFO",
+    "MODEL_NAMES",
+    "ModelInfo",
+    "REPRESENTATIVE_LAYERS",
+    "build_model",
+    "model_input",
+]

@@ -1,0 +1,39 @@
+"""Scaled AlexNet (Table I model A; 78 % weight sparsity).
+
+Large-kernel stem, stacked convolutions with interleaved pooling and a
+three-layer fully-connected classifier — AlexNet's signature big linear
+layers are preserved proportionally (they dominate the parameter count).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.layer import LayerKind
+from repro.frontend.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.frontend.module import Sequential
+
+
+def build_alexnet(num_classes: int = 10, rng=None) -> Sequential:
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return Sequential(
+        Conv2d(3, 48, 5, stride=2, padding=2, kind=LayerKind.CONV,
+               name="conv1-5x5", rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(48, 96, 3, padding=1, kind=LayerKind.CONV, name="conv2-3x3", rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(96, 128, 3, padding=1, kind=LayerKind.CONV, name="conv3-3x3", rng=rng),
+        ReLU(),
+        Conv2d(128, 96, 3, padding=1, kind=LayerKind.CONV, name="conv4-3x3", rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(96 * 2 * 2, 256, name="fc1", rng=rng),
+        ReLU(),
+        Linear(256, 128, name="fc2", rng=rng),
+        ReLU(),
+        Linear(128, num_classes, name="fc3", rng=rng),
+        name="alexnet",
+    )

@@ -1,0 +1,55 @@
+"""Scaled BERT (Table I model B; 60 % weight sparsity).
+
+Token + positional embeddings, a stack of transformer encoder blocks and
+a classification head over the first token, scaled down per DESIGN.md.
+Inputs are integer token-id sequences ``(batch, seq_len)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.layer import LayerKind
+from repro.frontend.layers import Linear
+from repro.frontend.models.blocks import Embedding, TransformerBlock
+from repro.frontend.module import Module, Parameter
+
+VOCAB_SIZE = 100
+SEQ_LEN = 32
+HIDDEN_DIM = 128
+FFN_DIM = 256
+NUM_BLOCKS = 2
+
+
+class Bert(Module):
+    def __init__(self, num_classes: int = 2, rng=None) -> None:
+        super().__init__("bert")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.embedding = Embedding(VOCAB_SIZE, HIDDEN_DIM, rng=rng)
+        self.position = Parameter(
+            rng.standard_normal((SEQ_LEN, HIDDEN_DIM)) * 0.1
+        )
+        self.block1 = TransformerBlock(HIDDEN_DIM, FFN_DIM, name="tr1", rng=rng)
+        self.block2 = TransformerBlock(HIDDEN_DIM, FFN_DIM, name="tr2", rng=rng)
+        self.pooler = Linear(
+            HIDDEN_DIM, HIDDEN_DIM, kind=LayerKind.LINEAR, name="pooler", rng=rng
+        )
+        self.classifier = Linear(
+            HIDDEN_DIM, num_classes, kind=LayerKind.LINEAR, name="classifier", rng=rng
+        )
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 2 or token_ids.shape[1] != SEQ_LEN:
+            raise ValueError(
+                f"BERT expects (batch, {SEQ_LEN}) token ids, got {token_ids.shape}"
+            )
+        x = self.embedding(token_ids) + self.position.data[None, :, :]
+        x = self.block1(x)
+        x = self.block2(x)
+        pooled = np.tanh(self.pooler(x[:, 0, :]))
+        return self.classifier(pooled)
+
+
+def build_bert(num_classes: int = 2, rng=None) -> Bert:
+    return Bert(num_classes=num_classes, rng=rng)

@@ -1,0 +1,214 @@
+"""Reusable building blocks of the seven evaluation models.
+
+Each block mirrors its published counterpart structurally: Fire modules
+(SqueezeNet), depthwise-separable blocks (MobileNets), bottleneck residual
+blocks (ResNet-50) and single-head transformer encoder blocks (BERT).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config.layer import LayerKind
+from repro.frontend import functional as F
+from repro.frontend.layers import BatchNorm2d, Conv2d, LayerNorm, Linear
+from repro.frontend.module import Module, Parameter
+
+
+class Fire(Module):
+    """SqueezeNet Fire module: squeeze 1x1 -> expand 1x1 || expand 3x3."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        squeeze: int,
+        expand: int,
+        name: str = "fire",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        self.squeeze = Conv2d(
+            in_channels, squeeze, 1, kind=LayerKind.SQUEEZE_CONV,
+            name=f"{name}-squeeze1x1", rng=rng,
+        )
+        self.expand1 = Conv2d(
+            squeeze, expand, 1, kind=LayerKind.EXPAND_CONV,
+            name=f"{name}-expand1x1", rng=rng,
+        )
+        self.expand3 = Conv2d(
+            squeeze, expand, 3, padding=1, kind=LayerKind.EXPAND_CONV,
+            name=f"{name}-expand3x3", rng=rng,
+        )
+        self.out_channels = 2 * expand
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        squeezed = F.relu(self.squeeze(x))
+        left = F.relu(self.expand1(squeezed))
+        right = F.relu(self.expand3(squeezed))
+        return np.concatenate([left, right], axis=1)
+
+
+class DepthwiseSeparable(Module):
+    """MobileNets factorized convolution: depthwise 3x3 + pointwise 1x1."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        name: str = "ds",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        self.depthwise = Conv2d(
+            in_channels, in_channels, 3, stride=stride, padding=1,
+            groups=in_channels, kind=LayerKind.FACTORIZED_CONV,
+            name=f"{name}-dw3x3", rng=rng,
+        )
+        self.bn1 = BatchNorm2d(in_channels, rng=rng)
+        self.pointwise = Conv2d(
+            in_channels, out_channels, 1, kind=LayerKind.FACTORIZED_CONV,
+            name=f"{name}-pw1x1", rng=rng,
+        )
+        self.bn2 = BatchNorm2d(out_channels, rng=rng)
+        self.out_channels = out_channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = F.relu(self.bn1(self.depthwise(x)))
+        return F.relu(self.bn2(self.pointwise(x)))
+
+
+class Bottleneck(Module):
+    """ResNet-50 bottleneck: 1x1 down, 3x3, 1x1 up, residual add."""
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        base: int,
+        stride: int = 1,
+        name: str = "bottleneck",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        out_channels = base * self.expansion
+        self.conv1 = Conv2d(
+            in_channels, base, 1, kind=LayerKind.RESIDUAL,
+            name=f"{name}-1x1a", rng=rng,
+        )
+        self.bn1 = BatchNorm2d(base, rng=rng)
+        self.conv2 = Conv2d(
+            base, base, 3, stride=stride, padding=1, kind=LayerKind.CONV,
+            name=f"{name}-3x3", rng=rng,
+        )
+        self.bn2 = BatchNorm2d(base, rng=rng)
+        self.conv3 = Conv2d(
+            base, out_channels, 1, kind=LayerKind.RESIDUAL,
+            name=f"{name}-1x1b", rng=rng,
+        )
+        self.bn3 = BatchNorm2d(out_channels, rng=rng)
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Conv2d(
+                in_channels, out_channels, 1, stride=stride,
+                kind=LayerKind.RESIDUAL, name=f"{name}-down", rng=rng,
+            )
+        else:
+            self.downsample = None
+        self.out_channels = out_channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        identity = x if self.downsample is None else self.downsample(x)
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = F.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return F.relu(out + identity)
+
+
+class Embedding(Module):
+    """Token embedding lookup (runs natively; not compute-intensive)."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        name: str = "embedding",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(rng.standard_normal((vocab_size, dim)) * 0.1)
+        self.dim = dim
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        return self.weight.data[np.asarray(token_ids, dtype=np.int64)]
+
+
+class TransformerBlock(Module):
+    """Multi-head transformer encoder block (scaled BERT layer).
+
+    The Q/K/V/output projections and the feed-forward layers offload as
+    linear layers; the per-head attention score and context GEMMs are
+    *dynamic* (activation x activation) and offload through
+    :meth:`SimulationContext.matmul` — exactly the ``F.sparse_mm``-style
+    operations of the paper's walk-through. Softmax and LayerNorm run
+    natively.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        ffn_dim: int,
+        num_heads: int = 2,
+        name: str = "transformer",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        if dim % num_heads:
+            raise ValueError(
+                f"hidden dim {dim} must divide the head count {num_heads}"
+            )
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, kind=LayerKind.TRANSFORMER, name=f"{name}-q", rng=rng)
+        self.k_proj = Linear(dim, dim, kind=LayerKind.TRANSFORMER, name=f"{name}-k", rng=rng)
+        self.v_proj = Linear(dim, dim, kind=LayerKind.TRANSFORMER, name=f"{name}-v", rng=rng)
+        self.out_proj = Linear(dim, dim, kind=LayerKind.TRANSFORMER, name=f"{name}-o", rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.ffn1 = Linear(dim, ffn_dim, kind=LayerKind.LINEAR, name=f"{name}-ffn1", rng=rng)
+        self.ffn2 = Linear(ffn_dim, dim, kind=LayerKind.LINEAR, name=f"{name}-ffn2", rng=rng)
+        self.norm2 = LayerNorm(dim)
+
+    def _attention(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Scaled dot-product attention for one sample, head by head."""
+        seq = q.shape[0]
+        scale = 1.0 / np.sqrt(self.head_dim)
+        out = np.empty_like(q)
+        for h in range(self.num_heads):
+            lo, hi = h * self.head_dim, (h + 1) * self.head_dim
+            qh, kh, vh = q[:, lo:hi], k[:, lo:hi], v[:, lo:hi]
+            if self.context is not None:
+                scores = self.context.matmul(qh, kh.T, name=f"{self.name}-qk{h}")
+                attn = F.softmax(scores * scale)
+                out[:, lo:hi] = self.context.matmul(
+                    attn, vh, name=f"{self.name}-av{h}"
+                )
+            else:
+                attn = F.softmax((qh @ kh.T) * scale)
+                out[:, lo:hi] = attn @ vh
+        return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, seq, dim = x.shape
+        q = self.q_proj(x)
+        k = self.k_proj(x)
+        v = self.v_proj(x)
+        contexts = np.empty_like(q)
+        for n in range(batch):
+            contexts[n] = self._attention(q[n], k[n], v[n])
+        attended = self.norm1(x + self.out_proj(contexts))
+        hidden = F.relu(self.ffn1(attended))
+        return self.norm2(attended + self.ffn2(hidden))

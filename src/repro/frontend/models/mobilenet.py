@@ -1,0 +1,48 @@
+"""Scaled MobileNets-V1 (Table I model M; 75 % weight sparsity).
+
+Structure follows the published network — a stem convolution followed by a
+stack of depthwise-separable (factorized) blocks, global average pooling
+and a classifier — with channel counts and depth scaled for pure-Python
+cycle-level simulation (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.layer import LayerKind
+from repro.frontend import functional as F
+from repro.frontend.layers import AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear
+from repro.frontend.models.blocks import DepthwiseSeparable
+from repro.frontend.module import Module
+
+
+class MobileNetV1(Module):
+    """Stem conv + 5 depthwise-separable blocks + classifier."""
+
+    def __init__(self, num_classes: int = 10, rng=None) -> None:
+        super().__init__("mobilenets-v1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.stem = Conv2d(
+            3, 32, 3, stride=2, padding=1, kind=LayerKind.CONV,
+            name="stem-conv3x3", rng=rng,
+        )
+        self.stem_bn = BatchNorm2d(32, rng=rng)
+        self.block1 = DepthwiseSeparable(32, 64, name="ds1", rng=rng)
+        self.block2 = DepthwiseSeparable(64, 128, stride=2, name="ds2", rng=rng)
+        self.block3 = DepthwiseSeparable(128, 128, name="ds3", rng=rng)
+        self.block4 = DepthwiseSeparable(128, 256, stride=2, name="ds4", rng=rng)
+        self.block5 = DepthwiseSeparable(256, 256, name="ds5", rng=rng)
+        self.pool = AvgPool2d(None)
+        self.flatten = Flatten()
+        self.classifier = Linear(256, num_classes, name="classifier", rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = F.relu(self.stem_bn(self.stem(x)))
+        for block in (self.block1, self.block2, self.block3, self.block4, self.block5):
+            x = block(x)
+        return self.classifier(self.flatten(self.pool(x)))
+
+
+def build_mobilenet(num_classes: int = 10, rng=None) -> MobileNetV1:
+    return MobileNetV1(num_classes=num_classes, rng=rng)

@@ -1,0 +1,47 @@
+"""Scaled ResNet-50 (Table I model R; 89 % weight sparsity).
+
+Stem convolution followed by three stages of bottleneck residual blocks
+(1x1 -> 3x3 -> 1x1 with identity shortcuts) and a linear classifier. The
+scaled network keeps 6 bottlenecks (20 convolutions), enough distinct
+layers for the Fig. 9c per-layer sensitivity study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.layer import LayerKind
+from repro.frontend import functional as F
+from repro.frontend.layers import BatchNorm2d, Conv2d, Flatten, Linear
+from repro.frontend.models.blocks import Bottleneck
+from repro.frontend.module import Module
+
+
+class ResNet50(Module):
+    def __init__(self, num_classes: int = 10, rng=None) -> None:
+        super().__init__("resnets-50")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.stem = Conv2d(
+            3, 32, 3, padding=1, kind=LayerKind.CONV, name="stem-conv3x3", rng=rng
+        )
+        self.stem_bn = BatchNorm2d(32, rng=rng)
+        self.block1 = Bottleneck(32, 16, name="b1", rng=rng)      # -> 64ch, 32x32
+        self.block2 = Bottleneck(64, 16, name="b2", rng=rng)
+        self.block3 = Bottleneck(64, 32, stride=2, name="b3", rng=rng)  # -> 128ch, 16x16
+        self.block4 = Bottleneck(128, 32, name="b4", rng=rng)
+        self.block5 = Bottleneck(128, 64, stride=2, name="b5", rng=rng)  # -> 256ch, 8x8
+        self.block6 = Bottleneck(256, 64, name="b6", rng=rng)
+        self.flatten = Flatten()
+        self.classifier = Linear(256, num_classes, name="classifier", rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = F.relu(self.stem_bn(self.stem(x)))
+        for block in (self.block1, self.block2, self.block3,
+                      self.block4, self.block5, self.block6):
+            x = block(x)
+        x = F.global_avgpool2d(x)
+        return self.classifier(x)
+
+
+def build_resnet(num_classes: int = 10, rng=None) -> ResNet50:
+    return ResNet50(num_classes=num_classes, rng=rng)

@@ -1,0 +1,50 @@
+"""Scaled SqueezeNet (Table I model S; 70 % weight sparsity).
+
+Stem convolution, max pooling, a stack of Fire modules (squeeze 1x1 +
+expand 1x1/3x3), a 1x1 classifier convolution and global average pooling,
+scaled down per DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.layer import LayerKind
+from repro.frontend import functional as F
+from repro.frontend.layers import Conv2d, MaxPool2d
+from repro.frontend.models.blocks import Fire
+from repro.frontend.module import Module
+
+
+class SqueezeNet(Module):
+    def __init__(self, num_classes: int = 10, rng=None) -> None:
+        super().__init__("squeezenet")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.stem = Conv2d(
+            3, 64, 3, stride=2, padding=1, kind=LayerKind.CONV,
+            name="stem-conv3x3", rng=rng,
+        )
+        self.pool1 = MaxPool2d(2)
+        self.fire1 = Fire(64, 16, 64, name="fire1", rng=rng)
+        self.fire2 = Fire(128, 16, 64, name="fire2", rng=rng)
+        self.pool2 = MaxPool2d(2)
+        self.fire3 = Fire(128, 32, 128, name="fire3", rng=rng)
+        self.fire4 = Fire(256, 32, 128, name="fire4", rng=rng)
+        self.head = Conv2d(
+            256, num_classes, 1, kind=LayerKind.CONV, name="head-conv1x1", rng=rng
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = F.relu(self.stem(x))
+        x = self.pool1(x)
+        x = self.fire1(x)
+        x = self.fire2(x)
+        x = self.pool2(x)
+        x = self.fire3(x)
+        x = self.fire4(x)
+        x = F.relu(self.head(x))
+        return F.global_avgpool2d(x)
+
+
+def build_squeezenet(num_classes: int = 10, rng=None) -> SqueezeNet:
+    return SqueezeNet(num_classes=num_classes, rng=rng)

@@ -1,0 +1,71 @@
+"""Scaled SSD-MobileNets (Table I model S-M; 75 % weight sparsity).
+
+A MobileNets-V1 backbone (factorized convolutions) with SSD-style
+detection heads: at two feature-map scales, parallel 3x3 convolutions
+predict box offsets (4 coordinates per anchor) and class confidences. The
+model returns the flattened, concatenated predictions of both scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.layer import LayerKind
+from repro.frontend import functional as F
+from repro.frontend.layers import BatchNorm2d, Conv2d
+from repro.frontend.models.blocks import DepthwiseSeparable
+from repro.frontend.module import Module
+
+_ANCHORS = 4
+
+
+class SsdMobileNet(Module):
+    def __init__(self, num_classes: int = 10, rng=None) -> None:
+        super().__init__("ssd-mobilenets")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_classes = num_classes
+        self.stem = Conv2d(
+            3, 32, 3, stride=2, padding=1, kind=LayerKind.CONV,
+            name="stem-conv3x3", rng=rng,
+        )
+        self.stem_bn = BatchNorm2d(32, rng=rng)
+        self.block1 = DepthwiseSeparable(32, 64, name="ds1", rng=rng)
+        self.block2 = DepthwiseSeparable(64, 128, stride=2, name="ds2", rng=rng)
+        self.block3 = DepthwiseSeparable(128, 128, name="ds3", rng=rng)
+        self.block4 = DepthwiseSeparable(128, 256, stride=2, name="ds4", rng=rng)
+        # detection heads at the 8x8 (128ch) and 4x4 (256ch) scales
+        self.loc_head1 = Conv2d(
+            128, _ANCHORS * 4, 3, padding=1, kind=LayerKind.CONV,
+            name="loc-head1", rng=rng,
+        )
+        self.conf_head1 = Conv2d(
+            128, _ANCHORS * num_classes, 3, padding=1, kind=LayerKind.CONV,
+            name="conf-head1", rng=rng,
+        )
+        self.loc_head2 = Conv2d(
+            256, _ANCHORS * 4, 3, padding=1, kind=LayerKind.CONV,
+            name="loc-head2", rng=rng,
+        )
+        self.conf_head2 = Conv2d(
+            256, _ANCHORS * num_classes, 3, padding=1, kind=LayerKind.CONV,
+            name="conf-head2", rng=rng,
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = F.relu(self.stem_bn(self.stem(x)))
+        x = self.block1(x)
+        x = self.block2(x)
+        feat1 = self.block3(x)
+        feat2 = self.block4(feat1)
+        batch = x.shape[0]
+        predictions = [
+            self.loc_head1(feat1).reshape(batch, -1),
+            self.conf_head1(feat1).reshape(batch, -1),
+            self.loc_head2(feat2).reshape(batch, -1),
+            self.conf_head2(feat2).reshape(batch, -1),
+        ]
+        return np.concatenate(predictions, axis=1)
+
+
+def build_ssd_mobilenet(num_classes: int = 10, rng=None) -> SsdMobileNet:
+    return SsdMobileNet(num_classes=num_classes, rng=rng)

@@ -1,0 +1,43 @@
+"""Scaled VGG-16 (Table I model V; 90 % weight sparsity).
+
+Uniform 3x3 convolution stacks with pooling between stages and a deep
+fully-connected classifier, scaled down per DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.layer import LayerKind
+from repro.frontend.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.frontend.module import Sequential
+
+
+def build_vgg(num_classes: int = 10, rng=None) -> Sequential:
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    def conv(c_in: int, c_out: int, index: int) -> Conv2d:
+        return Conv2d(
+            c_in, c_out, 3, padding=1, kind=LayerKind.CONV,
+            name=f"conv{index}-3x3", rng=rng,
+        )
+
+    return Sequential(
+        conv(3, 32, 1), ReLU(),
+        conv(32, 32, 2), ReLU(),
+        MaxPool2d(2),
+        conv(32, 64, 3), ReLU(),
+        conv(64, 64, 4), ReLU(),
+        MaxPool2d(2),
+        conv(64, 128, 5), ReLU(),
+        conv(128, 128, 6), ReLU(),
+        conv(128, 128, 7), ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(128 * 4 * 4, 256, name="fc1", rng=rng),
+        ReLU(),
+        Linear(256, 128, name="fc2", rng=rng),
+        ReLU(),
+        Linear(128, num_classes, name="fc3", rng=rng),
+        name="vgg-16",
+    )

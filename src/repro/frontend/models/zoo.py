@@ -1,0 +1,148 @@
+"""Model registry: builders, sparsity application and synthetic inputs.
+
+The registry realizes Table I of the paper: seven models across three
+application domains, each magnitude-pruned to the published average weight
+sparsity. ``REPRESENTATIVE_LAYERS`` provides the eight single layers of
+the Fig. 1 motivation experiments (Squeeze/Expand/Factorized/Regular
+convolutions, Linears and a Transformer GEMM, drawn from S, R, M and B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Union
+
+import numpy as np
+
+from repro.config.layer import ConvLayerSpec, GemmSpec, LayerKind
+from repro.errors import ConfigurationError
+from repro.frontend.data import synthetic_images, synthetic_token_ids
+from repro.frontend.layers import Conv2d, Linear
+from repro.frontend.models import bert as bert_mod
+from repro.frontend.models.alexnet import build_alexnet
+from repro.frontend.models.bert import build_bert
+from repro.frontend.models.mobilenet import build_mobilenet
+from repro.frontend.models.resnet import build_resnet
+from repro.frontend.models.squeezenet import build_squeezenet
+from repro.frontend.models.ssd_mobilenet import build_ssd_mobilenet
+from repro.frontend.models.vgg import build_vgg
+from repro.frontend.module import Module
+from repro.tensors.pruning import magnitude_prune
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Registry record matching one Table I row."""
+
+    name: str
+    short: str
+    domain: str
+    sparsity: float
+    dominant_kinds: Tuple[LayerKind, ...]
+    builder: Callable[..., Module]
+    input_kind: str  # "image" or "tokens"
+
+
+MODEL_INFO: Dict[str, ModelInfo] = {
+    "mobilenets": ModelInfo(
+        "mobilenets", "M", "image-classification", 0.75,
+        (LayerKind.FACTORIZED_CONV, LayerKind.LINEAR), build_mobilenet, "image",
+    ),
+    "squeezenet": ModelInfo(
+        "squeezenet", "S", "image-classification", 0.70,
+        (LayerKind.SQUEEZE_CONV, LayerKind.EXPAND_CONV), build_squeezenet, "image",
+    ),
+    "alexnet": ModelInfo(
+        "alexnet", "A", "image-classification", 0.78,
+        (LayerKind.CONV, LayerKind.LINEAR), build_alexnet, "image",
+    ),
+    "resnet50": ModelInfo(
+        "resnet50", "R", "image-classification", 0.89,
+        (LayerKind.RESIDUAL, LayerKind.CONV), build_resnet, "image",
+    ),
+    "vgg16": ModelInfo(
+        "vgg16", "V", "image-classification", 0.90,
+        (LayerKind.CONV, LayerKind.LINEAR), build_vgg, "image",
+    ),
+    "ssd-mobilenets": ModelInfo(
+        "ssd-mobilenets", "S-M", "object-detection", 0.75,
+        (LayerKind.FACTORIZED_CONV, LayerKind.CONV), build_ssd_mobilenet, "image",
+    ),
+    "bert": ModelInfo(
+        "bert", "B", "language-processing", 0.60,
+        (LayerKind.TRANSFORMER, LayerKind.LINEAR), build_bert, "tokens",
+    ),
+}
+
+MODEL_NAMES = tuple(MODEL_INFO)
+
+#: the four purely-CNN models of the SNAPEA use case (Section VI-B)
+CNN_MODEL_NAMES = ("alexnet", "squeezenet", "vgg16", "resnet50")
+
+
+def prune_model(model: Module, sparsity: float) -> Module:
+    """Magnitude-prune every convolution and linear weight in place."""
+    for module in model.modules():
+        if isinstance(module, (Conv2d, Linear)):
+            module.weight.data = magnitude_prune(module.weight.data, sparsity)
+    return model
+
+
+def build_model(name: str, seed: int = 0, prune: bool = True) -> Module:
+    """Instantiate one Table I model with seeded weights.
+
+    ``prune=True`` applies the model's published sparsity ratio;
+    ``prune=False`` gives the dense variant (used e.g. by Fig. 1 sweeps).
+    """
+    info = _info(name)
+    rng = np.random.default_rng(seed)
+    model = info.builder(rng=rng)
+    if prune:
+        prune_model(model, info.sparsity)
+    return model
+
+
+def model_input(name: str, batch: int = 1, seed: int = 0) -> np.ndarray:
+    """Synthetic input batch matching the model's expected modality."""
+    info = _info(name)
+    if info.input_kind == "tokens":
+        return synthetic_token_ids(
+            batch=batch, seq_len=bert_mod.SEQ_LEN,
+            vocab_size=bert_mod.VOCAB_SIZE, seed=seed,
+        )
+    return synthetic_images(batch=batch, seed=seed)
+
+
+def _info(name: str) -> ModelInfo:
+    if name not in MODEL_INFO:
+        raise ConfigurationError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_INFO)}"
+        )
+    return MODEL_INFO[name]
+
+
+#: the eight representative layers of Fig. 1 (label -> workload spec).
+#: Conv specs keep the scaled models' shapes; sparsity for Fig. 1c sweeps
+#: is applied by the experiment harness.
+REPRESENTATIVE_LAYERS: Dict[str, Union[ConvLayerSpec, GemmSpec]] = {
+    # SqueezeNet squeeze convolution (1x1 bottleneck)
+    "S-SC": ConvLayerSpec(r=1, s=1, c=64, k=16, x=8, y=8,
+                          kind=LayerKind.SQUEEZE_CONV, name="S-SC"),
+    # SqueezeNet expand convolution (3x3 half of a Fire module)
+    "S-EC": ConvLayerSpec(r=3, s=3, c=16, k=32, x=10, y=10,
+                          kind=LayerKind.EXPAND_CONV, name="S-EC"),
+    # MobileNets factorized (depthwise) convolution
+    "M-FC": ConvLayerSpec(r=3, s=3, c=1, k=1, g=64, x=18, y=18,
+                          kind=LayerKind.FACTORIZED_CONV, name="M-FC"),
+    # ResNet-50 regular 3x3 convolution
+    "R-C": ConvLayerSpec(r=3, s=3, c=32, k=32, x=10, y=10,
+                         kind=LayerKind.CONV, name="R-C"),
+    # BERT transformer projection GEMM (hidden x hidden over the sequence)
+    "B-TR": GemmSpec(m=64, n=64, k=64, name="B-TR"),
+    # MobileNets classifier
+    "M-L": GemmSpec(m=64, n=32, k=128, name="M-L"),
+    # ResNet-50 classifier
+    "R-L": GemmSpec(m=64, n=32, k=128, name="R-L"),
+    # BERT feed-forward linear
+    "B-L": GemmSpec(m=128, n=64, k=64, name="B-L"),
+}

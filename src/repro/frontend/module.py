@@ -1,0 +1,124 @@
+"""Module system: a deliberately small torch-like container hierarchy.
+
+Modules register parameters and child modules through attribute
+assignment, support recursive iteration, and carry an optional
+*simulation context* that the offloading layers consult (see
+:mod:`repro.frontend.simulated`). Everything is eager NumPy; there is no
+autograd because the paper simulates inference only (training support is
+listed as the authors' ongoing work).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Parameter:
+    """A named tensor owned by a module (weights, biases, BN statistics)."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def sparsity(self) -> float:
+        if self.data.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.data == 0) / self.data.size)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.data.shape})"
+
+
+class Module:
+    """Base class of all layers and models."""
+
+    def __init__(self, name: str = "") -> None:
+        object.__setattr__(self, "_params", {})
+        object.__setattr__(self, "_modules", {})
+        self.name = name or type(self).__name__.lower()
+        #: simulation context (None = run natively on the CPU)
+        self.context = None
+
+    # ---- registration ----------------------------------------------------
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._params[key] = value
+        elif isinstance(value, Module):
+            self._modules[key] = value
+        object.__setattr__(self, key, value)
+
+    # ---- iteration --------------------------------------------------------
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    def modules(self) -> Iterator["Module"]:
+        """Depth-first iteration over self and all descendants."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        own = prefix or self.name
+        yield own, self
+        for key, child in self._modules.items():
+            yield from child.named_modules(f"{own}.{key}")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for module in self.modules():
+            yield from module._params.values()
+
+    def named_parameters(self) -> Iterator[Tuple[str, Parameter]]:
+        for mod_name, module in self.named_modules():
+            for key, param in module._params.items():
+                yield f"{mod_name}.{key}", param
+
+    def num_parameters(self) -> int:
+        return sum(param.size for param in self.parameters())
+
+    # ---- execution ----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement forward()"
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Sequential(Module):
+    """Runs child modules in order."""
+
+    def __init__(self, *layers: Module, name: str = "") -> None:
+        super().__init__(name or "sequential")
+        if not layers:
+            raise ConfigurationError("Sequential needs at least one layer")
+        self.layers: List[Module] = []
+        for index, layer in enumerate(layers):
+            key = f"layer{index}"
+            setattr(self, key, layer)
+            self.layers.append(layer)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,408 @@
+"""Dense memory controller (mRNA-inspired, paper Section IV-B).
+
+Orchestrates a convolution (or GEMM, as a degenerate convolution) over the
+fabric according to a fixed :class:`~repro.config.tile.TileConfig`. The
+controller walks the layer with nested internal counters — the
+Buffets-style address generation the paper describes — and advances the
+accelerator clock with *cycle-exact fast-forwarding*: within one steady
+phase every pixel step costs the same deterministic number of cycles, so
+the controller accounts whole phases at once while producing the same
+totals a one-cycle-at-a-time loop would (the test suite checks this
+against an explicit step-by-step replay).
+
+Timing model
+------------
+
+A *step* processes one wave of operands through the three network tiers:
+
+1. The DN delivers the step's **new** unique operands, consuming
+   ``ceil(slots / bandwidth)`` cycles of GB read ports. Multicast fabrics
+   charge one slot per unique value (inputs shared by the ``T_K`` filters
+   of a cluster group count once); the linear MN's forwarding links make
+   consecutive sliding-window steps cheaper (only the fresh columns of the
+   receptive field arrive through the DN).
+2. The MN multiplies (one cycle, pipelined).
+3. The RN reduces each cluster. Tree RNs are wave-pipelined; the linear RN
+   serializes ``cluster_size`` accumulations per step.
+4. Completed outputs drain through the RN output port at
+   ``rn_bandwidth`` elements/cycle.
+
+A step therefore occupies ``max(delivery, reduction throughput, drain)``
+cycles — the pipeline runs at the pace of its slowest stage, which is how
+bandwidth starvation produces the stalls of Fig. 1b.
+
+Dataflows
+---------
+
+- *Weight-stationary* (MAERI-like default): weights for one
+  ``(filter-group, fold)`` phase stay in the MSs while all output pixels
+  stream. With more than one fold, partial sums round-trip through the
+  Global Buffer (written by the RN, re-injected through forwarder MSs).
+- *Output-stationary*: folds iterate innermost with psums held in the RN
+  accumulators (or round-tripping if the RN has none); weights are
+  re-delivered every fold of every pixel step.
+- *Input-stationary*: inputs pinned, weights stream; psum traffic follows
+  the weight-stationary pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.config.layer import ConvLayerSpec, GemmSpec
+from repro.config.tile import TileConfig
+from repro.errors import MappingError
+from repro.memory.dram import Dram
+from repro.memory.global_buffer import GlobalBuffer
+from repro.noc.base import ClockedComponent
+from repro.noc.distribution import DistributionNetwork
+from repro.noc.multiplier import MultiplierNetwork
+from repro.noc.reduction import ReductionNetwork
+
+#: fixed cycles for the Configuration Unit to program a layer's signals
+LAYER_SETUP_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class DenseRunResult:
+    """Summary of one dense layer execution."""
+
+    cycles: int
+    macs: int
+    outputs: int
+    steps: int
+    stall_cycles: int
+    dram_stall_cycles: int
+    multiplier_utilization: float
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.cycles if self.cycles else 0.0
+
+
+@dataclass(frozen=True)
+class _StepCost:
+    """Deterministic cost of one pixel step inside a steady phase."""
+
+    dn_slots: int
+    unique_values: int
+    destinations: int
+    forwarded: int
+    psum_writebacks: int
+    outputs_completed: int
+    weight_unique: int = 0
+
+
+class DenseController(ClockedComponent):
+    """Fixed-tile dense orchestration over a DN/MN/RN composition."""
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        dn: DistributionNetwork,
+        mn: MultiplierNetwork,
+        rn: ReductionNetwork,
+        gb: GlobalBuffer,
+        dram: Dram,
+        name: str = "dense-controller",
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.dn = dn
+        self.mn = mn
+        self.rn = rn
+        self.gb = gb
+        self.dram = dram
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def run_conv(self, layer: ConvLayerSpec, tile: TileConfig) -> DenseRunResult:
+        """Simulate one convolution layer; returns the timing summary."""
+        tile.validate_for(layer, self.mn.num_ms)
+        return self._run(layer, tile)
+
+    def run_gemm(self, gemm: GemmSpec, tile: TileConfig) -> DenseRunResult:
+        """Simulate a GEMM as a 1x1 convolution over a 1xN output map."""
+        layer = ConvLayerSpec(
+            r=1, s=1, c=gemm.k, k=gemm.m, g=1, n=1, x=1, y=gemm.n,
+            stride=1, name=gemm.name or "gemm",
+        )
+        conv_tile = TileConfig(
+            t_c=tile.cluster_size,
+            t_k=tile.t_k,
+            t_y=tile.t_y * tile.t_x * tile.t_n,
+        )
+        conv_tile.validate_for(layer, self.mn.num_ms)
+        return self._run(layer, conv_tile)
+
+    # ------------------------------------------------------------------
+    # the timing engine
+    # ------------------------------------------------------------------
+    def _run(self, layer: ConvLayerSpec, tile: TileConfig) -> DenseRunResult:
+        cs = tile.cluster_size
+        folds = tile.folds_for(layer)
+        k_iters = math.ceil(layer.k / tile.t_k) * math.ceil(layer.g / tile.t_g)
+        n_iters = math.ceil(layer.n / tile.t_n)
+        x_iters = math.ceil(layer.x_out / tile.t_x)
+        y_iters = math.ceil(layer.y_out / tile.t_y)
+        pixel_steps = n_iters * x_iters * y_iters
+        if pixel_steps == 0 or k_iters == 0 or folds == 0:
+            raise MappingError("degenerate layer/tile combination")
+
+        self._configure_fabric(tile)
+        self.counters.add("ctrl_layers_run", 1)
+        cycles = LAYER_SETUP_CYCLES
+
+        # Two candidate loop orderings exist when the layer folds:
+        #
+        # - *phase* order (weight/input stationary): weights pinned per
+        #   (k-group, fold) phase while all pixels stream; fold psums
+        #   round-trip through the Global Buffer.
+        # - *fold-inner* order (output stationary): psums stay in the RN
+        #   accumulators while each step re-streams its fold weights
+        #   through double-buffered stationary registers.
+        #
+        # The controller — like the mRNA mapper — evaluates both and runs
+        # the cheaper one.
+        w_unique, w_dests = self._weight_delivery(tile)
+        w_cycles = self.dn.delivery_cycles(w_unique, w_dests)
+
+        full_pixels_per_k = n_iters * x_iters
+        steady_pixels_per_k = pixel_steps - full_pixels_per_k
+        total_steps = k_iters * folds * pixel_steps
+
+        def build_plan(fold_inner: bool):
+            if fold_inner:
+                dataflow = Dataflow.OUTPUT_STATIONARY
+            else:
+                dataflow = self.config.dataflow
+                if dataflow is Dataflow.OUTPUT_STATIONARY:
+                    dataflow = Dataflow.WEIGHT_STATIONARY
+            roundtrip = self._needs_psum_roundtrip(folds, dataflow)
+            costs = {
+                (steady, tail): self._step_cost(
+                    layer, tile, steady, tail, roundtrip,
+                    weight_unique=w_unique if fold_inner else 0,
+                    # sliding-window reuse needs the previous pixel step's
+                    # operands still latched; with folds interleaved
+                    # between pixel steps the registers have been
+                    # overwritten `folds` times, so fold-inner ordering
+                    # forfeits the forwarding discount
+                    allow_forwarding=not (fold_inner and folds > 1),
+                )
+                for steady in (False, True)
+                for tail in (False, True)
+            }
+            weight_loads = k_iters if fold_inner else k_iters * folds
+            plan = [
+                (costs[(False, False)], k_iters * (folds - 1) * full_pixels_per_k),
+                (costs[(False, True)], k_iters * full_pixels_per_k),
+                (costs[(True, False)], k_iters * (folds - 1) * steady_pixels_per_k),
+                (costs[(True, True)], k_iters * steady_pixels_per_k),
+            ]
+            estimate = w_cycles * weight_loads + sum(
+                self._step_cycles(cost, cs) * repeats
+                for cost, repeats in plan if repeats > 0
+            )
+            return plan, weight_loads, estimate
+
+        candidates = [build_plan(fold_inner=False)]
+        if folds > 1 and self.rn.has_accumulators:
+            candidates.append(build_plan(fold_inner=True))
+        plan, weight_loads, _estimate = min(candidates, key=lambda item: item[2])
+
+        stall_cycles = 0
+        cycles += self._account_weight_loads(w_unique, w_dests, w_cycles, weight_loads)
+        for cost, repeats in plan:
+            if repeats <= 0:
+                continue
+            step_cycles = self._step_cycles(cost, cs)
+            self._account_steps(cost, cs, tile.num_clusters, repeats)
+            cycles += step_cycles * repeats
+            stall_cycles += max(0, step_cycles - 1) * repeats
+
+        # Pipeline fill/drain: one DN traversal, the multiply stage and the
+        # deepest reduction still in flight at the end of the run.
+        cycles += self.dn.pipeline_latency + 1 + self.rn.reduction_latency(cs)
+
+        macs = layer.num_macs
+        outputs = layer.num_outputs
+        dram_stall = self._account_dram(layer, cycles)
+        cycles += dram_stall
+
+        utilization = macs / (self.mn.num_ms * cycles) if cycles else 0.0
+        self._current_cycle += cycles
+        self.counters.add("ctrl_cycles", cycles)
+        return DenseRunResult(
+            cycles=cycles,
+            macs=macs,
+            outputs=outputs,
+            steps=total_steps,
+            stall_cycles=stall_cycles,
+            dram_stall_cycles=dram_stall,
+            multiplier_utilization=utilization,
+        )
+
+    # ------------------------------------------------------------------
+    # pieces
+    # ------------------------------------------------------------------
+    def _configure_fabric(self, tile: TileConfig) -> None:
+        clusters = [tile.cluster_size] * tile.num_clusters
+        self.mn.configure_clusters(clusters)
+        self.rn.configure_clusters(clusters)
+
+    def _needs_psum_roundtrip(self, folds: int, dataflow: Dataflow) -> bool:
+        if folds <= 1:
+            return False
+        if dataflow is Dataflow.OUTPUT_STATIONARY:
+            return not self.rn.has_accumulators
+        # weight/input stationary sweep all pixels between folds, so psums
+        # cannot stay in the output accumulators.
+        return True
+
+    def _weight_delivery(self, tile: TileConfig) -> tuple:
+        """(unique values, destinations) of one phase's stationary load."""
+        unique = tile.cluster_size * tile.t_k * tile.t_g
+        replicas = tile.t_n * tile.t_x * tile.t_y
+        destinations = unique * replicas
+        if not self.dn.supports_multicast:
+            unique = destinations
+        return unique, destinations
+
+    def _account_weight_loads(
+        self, unique: int, destinations: int, w_cycles: int, loads: int
+    ) -> int:
+        """Charge ``loads`` stationary deliveries; returns total cycles."""
+        if loads <= 0:
+            return 0
+        self.dn.enqueue(unique, destinations)
+        self._scale_last_delivery(unique, destinations, loads - 1)
+        self.dn.skip_cycles(w_cycles * loads)
+        self.gb.record_reads(unique * loads)
+        return w_cycles * loads
+
+    def _scale_last_delivery(self, unique: int, destinations: int, extra: int) -> None:
+        """Replicate the activity of one recorded delivery ``extra`` times."""
+        if extra <= 0:
+            return
+        switches = self.dn._switch_traversals(unique, destinations)
+        wires = self.dn._wire_traversals(unique, destinations)
+        self.dn.counters.add("dn_switch_traversals", switches * extra)
+        self.dn.counters.add("dn_wire_traversals", wires * extra)
+        self.dn.counters.add("dn_elements_sent", unique * extra)
+        self.dn._pending_slots += self.dn._bandwidth_slots(unique, destinations) * extra
+
+    def _step_cost(
+        self,
+        layer: ConvLayerSpec,
+        tile: TileConfig,
+        steady: bool,
+        fold_tail: bool,
+        psum_roundtrip: bool,
+        weight_unique: int = 0,
+        allow_forwarding: bool = True,
+    ) -> _StepCost:
+        cs = tile.cluster_size
+        nc = tile.num_clusters
+        # Input uniqueness: the T_K filters of a cluster group share their
+        # input window (multicast); distinct (g, n, x, y) clusters do not.
+        input_clusters = tile.t_g * tile.t_n * tile.t_x * tile.t_y
+        window = cs
+        forwarded = 0
+        if (steady and allow_forwarding and self.mn.forwarding
+                and layer.r * layer.s > 1):
+            # Sliding-window reuse: the window advances t_y * stride output
+            # columns, so only the fresh receptive-field columns arrive
+            # through the DN; the rest hop along the MN forwarding links.
+            fresh_cols = min(tile.t_y * layer.stride, tile.t_s)
+            fresh = tile.t_r * tile.t_c * fresh_cols
+            fresh = min(fresh, window)
+            forwarded = (window - fresh) * input_clusters
+            window = fresh
+        unique_inputs = window * input_clusters
+        destinations = window * input_clusters * tile.t_k
+        if not self.dn.supports_multicast:
+            unique_inputs = destinations
+
+        slots = unique_inputs + weight_unique
+        psum_writebacks = 0
+        if psum_roundtrip:
+            if not fold_tail:
+                psum_writebacks = nc
+            # re-injection of the previous fold's psums through forwarders
+            slots += nc
+
+        outputs_completed = nc if fold_tail else 0
+        return _StepCost(
+            dn_slots=slots,
+            unique_values=unique_inputs,
+            destinations=destinations,
+            forwarded=forwarded,
+            psum_writebacks=psum_writebacks,
+            outputs_completed=outputs_completed,
+            weight_unique=weight_unique,
+        )
+
+    def _step_cycles(self, cost: _StepCost, cluster_size: int) -> int:
+        delivery = self.dn.delivery_cycles(
+            max(cost.dn_slots, 1), max(cost.destinations, 1)
+        )
+        reduction = 1 if self.rn.pipelined else self.rn.reduction_latency(cluster_size)
+        drain = self.rn.output_cycles(cost.outputs_completed + cost.psum_writebacks)
+        return max(1, delivery, reduction, drain)
+
+    def _account_steps(
+        self, cost: _StepCost, cs: int, nc: int, repeats: int
+    ) -> None:
+        """Record the activity of ``repeats`` identical steps."""
+        step_cycles = self._step_cycles(cost, cs)
+        self.dn.enqueue(max(cost.dn_slots, 1), max(cost.destinations, 1))
+        self._scale_last_delivery(
+            max(cost.dn_slots, 1), max(cost.destinations, 1), repeats - 1
+        )
+        self.dn.skip_cycles(step_cycles * repeats)
+        self.gb.record_reads((cost.unique_values + cost.weight_unique) * repeats)
+        # tier-boundary FIFO activity (GB->DN staging, RN->GB drain)
+        self.counters.add("ctrl_fifo_pushes", cost.dn_slots * repeats)
+        self.counters.add(
+            "ctrl_fifo_pops",
+            (cost.outputs_completed + cost.psum_writebacks) * repeats,
+        )
+        self.mn.record_multiplications(cs * nc * repeats)
+        if cost.forwarded:
+            self.mn.record_forwarding(cost.forwarded * repeats)
+        self.rn.counters.add(self.rn.adder_counter, repeats * nc * max(0, cs - 1))
+        self.rn.counters.add("rn_wire_traversals", repeats * nc * (2 * cs - 1))
+        if cost.psum_writebacks:
+            self.mn.record_psum_injections(nc * repeats)
+            self.rn.record_outputs(cost.psum_writebacks * repeats)
+            self.gb.record_writes(cost.psum_writebacks * repeats)
+        elif self.rn.has_accumulators:
+            self.rn.record_accumulations(nc * repeats)
+        if cost.outputs_completed:
+            self.rn.record_outputs(cost.outputs_completed * repeats)
+            self.gb.record_writes(cost.outputs_completed * repeats)
+
+    def _account_dram(self, layer: ConvLayerSpec, compute_cycles: int) -> int:
+        """Move the layer footprint through DRAM; returns stall cycles."""
+        bpe = self.config.dtype.bytes_per_element
+        weight_elems = layer.num_filters * layer.filter_size
+        input_elems = layer.n * layer.g * layer.c * layer.x * layer.y
+        output_elems = layer.num_outputs
+        working_set = weight_elems + input_elems + output_elems
+        reload_factor = 1
+        if not self.gb.fits(working_set):
+            reload_factor = math.ceil(working_set / self.gb.half_capacity_elements)
+        read_bytes = (weight_elems + input_elems) * bpe * reload_factor
+        write_bytes = output_elems * bpe
+        self.dram.record_read(read_bytes)
+        self.dram.record_write(write_bytes)
+        self.gb.record_fill(weight_elems + input_elems)
+        transfer = self.dram.transfer_cycles(read_bytes + write_bytes)
+        return self.gb.dram_stall_cycles(transfer, compute_cycles)
+
+    def cycle(self) -> None:
+        self._current_cycle += 1

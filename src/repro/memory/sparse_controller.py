@@ -1,0 +1,442 @@
+"""Sparse memory controller (paper Section IV-B, SIGMA-like execution).
+
+The sparse controller runs GEMMs over compressed operands. Sparsity makes
+the dot-product sizes *data-dependent*: each row of the stationary MK
+matrix contributes only its nonzeros, so the controller packs whole rows
+(filters) onto the multiplier fabric round by round, configures the
+flexible reduction network with one variable-size cluster per packed row,
+and streams the KN columns.
+
+This dynamic packing is exactly what analytical models cannot capture
+(Fig. 1c): the *distribution* of zeros determines how many rows fit per
+round and how much of the fabric each round wastes. It is also the lever
+of use case 3 — a scheduler that reorders rows (e.g. Largest Filter
+First) packs rounds tighter and finishes in fewer of them.
+
+Round timing
+------------
+
+For each round: a fabric reconfiguration cycle, the stationary load of the
+round's nonzero weights through the DN, then one step per streamed column.
+A column step delivers the **union** of the packed rows' column supports
+(values shared by several rows multicast in one slot), multiplies, reduces
+through the FAN/ART pipeline, and drains one output per packed row:
+
+``step = max(1, ceil(|union support| / dn_bw), ceil(rows / rn_bw))``
+
+Rows larger than the fabric fold across consecutive rounds; their partial
+sums round-trip through the Global Buffer and are re-injected, adding one
+DN slot and one write per continued row per column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.config.hardware import HardwareConfig
+from repro.errors import MappingError
+from repro.memory.dram import Dram
+from repro.memory.global_buffer import GlobalBuffer
+from repro.noc.base import ClockedComponent
+from repro.noc.distribution import DistributionNetwork
+from repro.noc.multiplier import MultiplierNetwork
+from repro.noc.reduction import ReductionNetwork
+from repro.tensors.sparse import BitmapMatrix, CsrMatrix, from_dense
+
+#: fixed cycles for the Configuration Unit to program a GEMM's signals
+GEMM_SETUP_CYCLES = 4
+#: cycles to configure the Benes routing + FAN clusters for the first
+#: round; subsequent reconfigurations overlap the previous round's
+#: streaming (the Benes fabric is non-blocking, so SIGMA prepares the next
+#: round's routes while the current one drains)
+ROUND_RECONFIG_CYCLES = 1
+
+
+@dataclass(frozen=True)
+class RowChunk:
+    """A contiguous slice of one stationary row's nonzeros.
+
+    Unfolded rows are a single chunk (``is_final=True``); rows wider than
+    the fabric split into several chunks whose psums accumulate across
+    rounds.
+    """
+
+    row: int
+    start: int
+    length: int
+    is_final: bool
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise MappingError("a row chunk needs at least one nonzero")
+
+
+#: a round-builder maps (row_nnz, fabric capacity) -> rounds of chunks
+RoundBuilder = Callable[[np.ndarray, int], List[List[RowChunk]]]
+
+
+def pack_rows_in_order(
+    row_nnz: np.ndarray, capacity: int, order: Optional[Sequence[int]] = None
+) -> List[List[RowChunk]]:
+    """Greedy sequential packing of whole rows in a given issue order.
+
+    Rows that fit the fabric are atomic: when the next row does not fit in
+    the remaining capacity, the round closes (the source of the
+    fragmentation that scheduling policies attack). Rows *wider* than the
+    whole fabric must fold regardless, so their chunks stream continuously
+    — each chunk fills whatever capacity the current round still has —
+    with partial sums accumulating across rounds.
+    """
+    rounds: List[List[RowChunk]] = []
+    current: List[RowChunk] = []
+    free = capacity
+    if order is None:
+        order = range(len(row_nnz))
+    for row in (int(r) for r in order):
+        nnz = int(row_nnz[row])
+        if nnz == 0:
+            continue
+        if nnz <= capacity:
+            if nnz > free:
+                rounds.append(current)
+                current, free = [], capacity
+            current.append(RowChunk(row, 0, nnz, True))
+            free -= nnz
+            continue
+        # oversized row: stream chunks through the remaining capacity
+        offset = 0
+        while offset < nnz:
+            if free == 0:
+                rounds.append(current)
+                current, free = [], capacity
+            chunk = min(free, nnz - offset)
+            current.append(RowChunk(row, offset, chunk, offset + chunk >= nnz))
+            free -= chunk
+            offset += chunk
+    if current:
+        rounds.append(current)
+    return rounds
+
+
+def natural_order_rounds(row_nnz: np.ndarray, capacity: int) -> List[List[RowChunk]]:
+    """The paper's *No Scheduling* (NS) packing: rows in natural order."""
+    return pack_rows_in_order(row_nnz, capacity)
+
+
+@dataclass(frozen=True)
+class SparseRoundStats:
+    """Per-round telemetry used by the scheduling study (Fig. 9)."""
+
+    rows: int
+    nnz: int
+    unique_inputs: int
+    cycles: int
+    utilization: float
+
+
+@dataclass(frozen=True)
+class SparseRunResult:
+    """Summary of one sparse GEMM execution."""
+
+    cycles: int
+    effective_macs: int
+    dense_macs: int
+    outputs: int
+    rounds: int
+    mapping_utilization: float
+    multiplier_utilization: float
+    round_stats: Tuple[SparseRoundStats, ...]
+
+    @property
+    def ops_saved_fraction(self) -> float:
+        """Share of dense multiply work skipped thanks to sparsity."""
+        if self.dense_macs == 0:
+            return 0.0
+        return 1.0 - self.effective_macs / self.dense_macs
+
+
+class SparseController(ClockedComponent):
+    """Bitmap/CSR GEMM orchestration with dynamic cluster packing."""
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        dn: DistributionNetwork,
+        mn: MultiplierNetwork,
+        rn: ReductionNetwork,
+        gb: GlobalBuffer,
+        dram: Dram,
+        name: str = "sparse-controller",
+    ) -> None:
+        super().__init__(name)
+        if not rn.variable_clusters:
+            raise MappingError(
+                "the sparse controller needs a variable-cluster RN (ART/FAN)"
+            )
+        self.config = config
+        self.dn = dn
+        self.mn = mn
+        self.rn = rn
+        self.gb = gb
+        self.dram = dram
+
+    # ------------------------------------------------------------------
+    def run_spmm(
+        self,
+        stationary: Union[np.ndarray, BitmapMatrix, CsrMatrix],
+        n_cols: int,
+        round_builder: Optional[RoundBuilder] = None,
+        streaming: Optional[np.ndarray] = None,
+    ) -> SparseRunResult:
+        """Simulate ``stationary (M x K, sparse) @ streaming (K x n_cols)``.
+
+        ``round_builder`` selects the filter-scheduling policy; ``None``
+        uses the natural-order (NS) packing.
+
+        Passing the actual ``streaming`` operand enables SIGMA's
+        dual-sided sparsity: per column, only the values whose row index
+        lies in the round's support **and is nonzero** are delivered and
+        multiplied (ReLU-sparse activations shrink both traffic and
+        effective compute). With ``streaming=None`` the KN operand is
+        assumed dense, the Table V validation configuration.
+        """
+        if n_cols < 1:
+            raise MappingError("the streaming matrix needs at least one column")
+        if streaming is not None:
+            streaming = np.asarray(streaming)
+            if streaming.ndim != 2 or streaming.shape[1] != n_cols:
+                raise MappingError(
+                    f"streaming operand shape {streaming.shape} disagrees "
+                    f"with n_cols={n_cols}"
+                )
+        csr = self._as_csr(stationary)
+        if streaming is not None and streaming.shape[0] != csr.shape[1]:
+            raise MappingError(
+                f"streaming operand has {streaming.shape[0]} rows but the "
+                f"stationary K dimension is {csr.shape[1]}"
+            )
+        row_nnz = csr.row_nnz()
+        builder = round_builder or natural_order_rounds
+        rounds = builder(row_nnz, self.mn.num_ms)
+        self._validate_rounds(rounds, row_nnz)
+
+        m_rows, k_dim = csr.shape
+        dense_macs = m_rows * k_dim * n_cols
+        total_nnz = int(row_nnz.sum())
+        outputs = m_rows * n_cols
+
+        b_mask = None
+        if streaming is not None:
+            b_mask = streaming != 0
+            # dual-sided sparsity: a multiply happens only where both the
+            # stationary weight and the streamed value are nonzero
+            a_mask = csr.to_dense() != 0
+            effective_macs = int((a_mask.astype(np.int64) @
+                                  b_mask.astype(np.int64)).sum())
+        else:
+            effective_macs = total_nnz * n_cols
+
+        self.counters.add("ctrl_gemms_run", 1)
+        self.counters.add("ctrl_metadata_elements", csr.nnz)
+        cycles = GEMM_SETUP_CYCLES
+        round_stats: List[SparseRoundStats] = []
+        busy_ms_cycles = 0
+        mapped_nnz_total = 0
+
+        for index, chunks in enumerate(rounds):
+            stats = self._run_round(
+                csr, chunks, n_cols, first=index == 0, b_mask=b_mask
+            )
+            round_stats.append(stats)
+            cycles += stats.cycles
+            busy_ms_cycles += stats.nnz * n_cols
+            mapped_nnz_total += stats.nnz
+
+        # final pipeline drain of the deepest in-flight reduction
+        if rounds:
+            max_cluster = max(
+                max(chunk.length for chunk in chunks) for chunks in rounds
+            )
+            cycles += self.dn.pipeline_latency + 1 + self.rn.reduction_latency(max_cluster)
+
+        dram_stall = self._account_dram(csr, n_cols, cycles)
+        cycles += dram_stall
+
+        mapping_util = (
+            mapped_nnz_total / (self.mn.num_ms * len(rounds)) if rounds else 0.0
+        )
+        ms_util = busy_ms_cycles / (self.mn.num_ms * cycles) if cycles else 0.0
+        self._current_cycle += cycles
+        self.counters.add("ctrl_cycles", cycles)
+        return SparseRunResult(
+            cycles=cycles,
+            effective_macs=effective_macs,
+            dense_macs=dense_macs,
+            outputs=outputs,
+            rounds=len(rounds),
+            mapping_utilization=mapping_util,
+            multiplier_utilization=ms_util,
+            round_stats=tuple(round_stats),
+        )
+
+    # ------------------------------------------------------------------
+    def _run_round(
+        self, csr: CsrMatrix, chunks: Sequence[RowChunk], n_cols: int,
+        first: bool = False, b_mask=None,
+    ) -> SparseRoundStats:
+        nnz = sum(chunk.length for chunk in chunks)
+        cluster_sizes = [chunk.length for chunk in chunks]
+        self.mn.configure_clusters(cluster_sizes)
+        self.rn.configure_clusters(cluster_sizes)
+
+        # union of the packed rows' column supports = unique streaming
+        # elements needed per column step (multicast collapses sharing)
+        support: set = set()
+        for chunk in chunks:
+            cols, _vals = csr.row(chunk.row)
+            support.update(int(c) for c in cols[chunk.start : chunk.start + chunk.length])
+        unique = len(support)
+
+        continued = sum(1 for chunk in chunks if not chunk.is_final)
+        resumed = sum(1 for chunk in chunks if chunk.start > 0)
+
+        # stationary load of the round's weights (plus compressed metadata)
+        load_cycles = self.dn.record_delivery(nnz, nnz)
+        self.gb.record_reads(nnz)
+        self.counters.add("ctrl_stationary_loads", nnz)
+
+        # column streaming
+        drain = self.rn.output_cycles(len(chunks))
+        if b_mask is not None and support:
+            # dual-sided sparsity: per column only the nonzero streamed
+            # values inside the round's support are delivered
+            support_idx = np.fromiter(support, dtype=np.int64)
+            unique_per_col = b_mask[support_idx, :].sum(axis=0)
+            per_col = np.maximum(
+                np.ceil(unique_per_col / self.dn.bandwidth).astype(np.int64), 1
+            )
+            stream_cycles = int(np.maximum(per_col, drain).sum())
+            step_cycles = max(1, int(per_col.max(initial=1)), drain)
+            unique = int(round(float(unique_per_col.mean()))) if n_cols else 0
+            slots = max(unique, 1)
+        else:
+            slots = unique
+            delivery = self.dn.delivery_cycles(max(slots, 1), max(slots, 1))
+            step_cycles = max(1, delivery, drain)
+            stream_cycles = step_cycles * n_cols
+
+        # folded rows: the previous chunk's partial outputs are re-read
+        # from the GB and merged into this chunk's outputs at the round
+        # boundary (one add per column per resumed row)
+        merge_cycles = 0
+        if resumed:
+            merge_reads = resumed * n_cols
+            merge_cycles = math.ceil(merge_reads / self.dn.bandwidth) + math.ceil(
+                merge_reads / self.rn.bandwidth
+            )
+            self.gb.record_reads(merge_reads)
+            self.rn.record_accumulations(merge_reads)
+
+        # batched activity for all column steps of the round
+        self.dn.enqueue(max(slots, 1), max(slots, 1))
+        self._scale_delivery(max(slots, 1), n_cols - 1)
+        self.dn.skip_cycles(stream_cycles)
+        self.gb.record_reads(unique * n_cols)
+        if b_mask is not None:
+            round_mults = 0
+            for chunk in chunks:
+                cols, _vals = csr.row(chunk.row)
+                chunk_cols = cols[chunk.start : chunk.start + chunk.length]
+                round_mults += int(b_mask[chunk_cols, :].sum())
+        else:
+            round_mults = nnz * n_cols
+        self.mn.record_multiplications(round_mults)
+        self.rn.counters.add(
+            self.rn.adder_counter,
+            n_cols * sum(max(0, size - 1) for size in cluster_sizes),
+        )
+        self.rn.counters.add(
+            "rn_wire_traversals", n_cols * sum(2 * size - 1 for size in cluster_sizes)
+        )
+        self.rn.record_outputs(len(chunks) * n_cols)
+        self.gb.record_writes(len(chunks) * n_cols)
+        self.counters.add("ctrl_fifo_pushes", max(slots, 1) * n_cols)
+        self.counters.add("ctrl_fifo_pops", len(chunks) * n_cols)
+        if continued:
+            self.counters.add("ctrl_psum_spills", continued * n_cols)
+
+        total = (
+            (ROUND_RECONFIG_CYCLES if first else 0)
+            + load_cycles
+            + stream_cycles
+            + merge_cycles
+        )
+        return SparseRoundStats(
+            rows=len(chunks),
+            nnz=nnz,
+            unique_inputs=unique,
+            cycles=total,
+            utilization=nnz / self.mn.num_ms,
+        )
+
+    def _scale_delivery(self, slots: int, extra: int) -> None:
+        if extra <= 0:
+            return
+        switches = self.dn._switch_traversals(slots, slots)
+        wires = self.dn._wire_traversals(slots, slots)
+        self.dn.counters.add("dn_switch_traversals", switches * extra)
+        self.dn.counters.add("dn_wire_traversals", wires * extra)
+        self.dn.counters.add("dn_elements_sent", slots * extra)
+        self.dn._pending_slots += self.dn._bandwidth_slots(slots, slots) * extra
+
+    # ------------------------------------------------------------------
+    def _as_csr(self, matrix) -> CsrMatrix:
+        if isinstance(matrix, CsrMatrix):
+            return matrix
+        if isinstance(matrix, BitmapMatrix):
+            return from_dense(matrix.to_dense(), "csr")
+        array = np.asarray(matrix)
+        if array.ndim != 2:
+            raise MappingError(
+                f"the stationary operand must be a 2-D matrix, got shape {array.shape}"
+            )
+        return from_dense(array, "csr")
+
+    def _validate_rounds(
+        self, rounds: List[List[RowChunk]], row_nnz: np.ndarray
+    ) -> None:
+        covered = {}
+        for chunks in rounds:
+            if not chunks:
+                raise MappingError("a scheduling round cannot be empty")
+            used = sum(chunk.length for chunk in chunks)
+            if used > self.mn.num_ms:
+                raise MappingError(
+                    f"round maps {used} nonzeros onto {self.mn.num_ms} MSs"
+                )
+            for chunk in chunks:
+                covered[chunk.row] = covered.get(chunk.row, 0) + chunk.length
+        for row, nnz in enumerate(int(v) for v in row_nnz):
+            if covered.get(row, 0) != nnz:
+                raise MappingError(
+                    f"schedule covers {covered.get(row, 0)} of row {row}'s "
+                    f"{nnz} nonzeros"
+                )
+
+    def _account_dram(self, csr: CsrMatrix, n_cols: int, compute_cycles: int) -> int:
+        bpe = self.config.dtype.bytes_per_element
+        metadata_bytes = csr.metadata_bits() // 8
+        read_bytes = csr.nnz * bpe + csr.shape[1] * n_cols * bpe + metadata_bytes
+        write_bytes = csr.shape[0] * n_cols * bpe
+        self.dram.record_read(read_bytes)
+        self.dram.record_write(write_bytes)
+        self.gb.record_fill(csr.nnz + csr.shape[1] * n_cols)
+        transfer = self.dram.transfer_cycles(read_bytes + write_bytes)
+        return self.gb.dram_stall_cycles(transfer, compute_cycles)
+
+    def cycle(self) -> None:
+        self._current_cycle += 1

@@ -1,0 +1,124 @@
+"""Component protocol and activity counters.
+
+The paper's Fig. 4 class diagram gives every microarchitectural component a
+``cycle()`` method and lets the top-level ``Accelerator`` iterate over the
+configured components each clock. :class:`ClockedComponent` is that
+contract. :class:`CounterSet` is the *counter file* backing store: a named
+multiset of activity events (multiplications, wire traversals, SRAM
+accesses, ...) that the output module later prices with the energy tables.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from typing import Dict, Iterator
+
+
+class CounterSet:
+    """Named activity counters with dictionary-like access.
+
+    Counters are created lazily on first increment so components do not
+    need to pre-declare every event they may emit. Values are plain ints;
+    merging two sets adds them key-wise (used to aggregate per-layer stats
+    into per-model totals).
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def add(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"cannot add negative activity {amount} to {name!r}")
+        if amount:
+            self._counts[name] += int(amount)
+
+    def get(self, name: str) -> int:
+        return int(self._counts.get(name, 0))
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._counts))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def merge(self, other: "CounterSet") -> None:
+        self._counts.update(other._counts)
+
+    def diff(self, earlier: "CounterSet") -> "CounterSet":
+        """Counters accumulated since the ``earlier`` snapshot."""
+        result = CounterSet()
+        for name, value in self._counts.items():
+            delta = value - earlier.get(name)
+            if delta < 0:
+                raise ValueError(
+                    f"counter {name!r} went backwards ({value} < {earlier.get(name)})"
+                )
+            if delta:
+                result.add(name, delta)
+        return result
+
+    def copy(self) -> "CounterSet":
+        result = CounterSet()
+        result._counts = Counter(self._counts)
+        return result
+
+    def scaled(self, factor: int) -> "CounterSet":
+        """A copy with every counter multiplied by ``factor``."""
+        result = CounterSet()
+        for name, value in self._counts.items():
+            result.add(name, value * factor)
+        return result
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: int(value) for name, value in sorted(self._counts.items())}
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        return f"CounterSet({self.as_dict()})"
+
+
+class ClockedComponent(abc.ABC):
+    """A component the Accelerator advances one clock at a time.
+
+    Components may internally *batch* several cycles of regular behaviour
+    (e.g. a distribution network draining a queue at a fixed bandwidth) via
+    :meth:`skip_cycles`; this keeps pure-Python simulation tractable while
+    producing exactly the cycle counts a one-cycle-at-a-time loop would.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters = CounterSet()
+        self._current_cycle = 0
+
+    @property
+    def current_cycle(self) -> int:
+        return self._current_cycle
+
+    @abc.abstractmethod
+    def cycle(self) -> None:
+        """Advance the component by one clock."""
+
+    def skip_cycles(self, count: int) -> None:
+        """Advance ``count`` clocks of regular (no-event) behaviour."""
+        if count < 0:
+            raise ValueError("cannot skip a negative number of cycles")
+        for _ in range(count):
+            self.cycle()
+
+    def reset(self) -> None:
+        """Return to the post-construction state, clearing statistics."""
+        self.counters.reset()
+        self._current_cycle = 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,253 @@
+"""Distribution Networks: GB → multiplier operand delivery.
+
+Three fabrics from the paper (Section IV-A-1):
+
+- :class:`TreeNetwork` — MAERI's replicated binary distribution trees;
+  single-cycle unicast/multicast/broadcast, one tree per GB read port.
+- :class:`BenesNetwork` — SIGMA's N-input N-output non-blocking Benes
+  topology with ``2*log2(N) + 1`` switch levels; single-cycle
+  unicast/multicast/broadcast.
+- :class:`PointToPointNetwork` — unicast-only links, the building block of
+  systolic-array operand delivery (TPU).
+
+The timing contract shared by the engines is *bandwidth-limited delivery*:
+the Global Buffer can hand the fabric at most ``bandwidth`` elements per
+cycle. Multicast-capable fabrics charge one bandwidth slot per **unique**
+value regardless of fan-out (this is precisely the mechanism whose loss
+makes analytical models optimistic — Fig. 1b); the point-to-point fabric
+charges one slot per destination.
+
+Deliveries are modeled with a pending-work queue drained by ``cycle()``.
+``delivery_cycles``/``record_delivery`` provide the batched equivalent the
+engines use for cycle-exact fast-forwarding.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.errors import ConfigurationError
+from repro.noc.base import ClockedComponent
+
+
+def _log2_ceil(value: int) -> int:
+    return max(1, math.ceil(math.log2(value))) if value > 1 else 0
+
+
+class DistributionNetwork(ClockedComponent):
+    """Common bandwidth/queue behaviour for all DN fabrics."""
+
+    def __init__(self, name: str, num_leaves: int, bandwidth: int) -> None:
+        super().__init__(name)
+        if num_leaves < 2:
+            raise ConfigurationError("a DN needs at least 2 leaves")
+        if not 1 <= bandwidth <= num_leaves:
+            raise ConfigurationError(
+                f"DN bandwidth must be in [1, {num_leaves}], got {bandwidth}"
+            )
+        self.num_leaves = num_leaves
+        self.bandwidth = bandwidth
+        self._pending_slots = 0
+
+    @property
+    def supports_multicast(self) -> bool:
+        """Whether one value can reach many MSs in one bandwidth slot."""
+        return self._bandwidth_slots(1, 2) == 1
+
+    # ---- topology-specific costs -------------------------------------
+    @property
+    @abc.abstractmethod
+    def pipeline_latency(self) -> int:
+        """Cycles for one element to traverse GB → MS (pipeline depth)."""
+
+    @abc.abstractmethod
+    def _bandwidth_slots(self, unique_values: int, destinations: int) -> int:
+        """GB read-port slots consumed by one delivery."""
+
+    @abc.abstractmethod
+    def _switch_traversals(self, unique_values: int, destinations: int) -> int:
+        """Switch activations charged to the energy model."""
+
+    @abc.abstractmethod
+    def _wire_traversals(self, unique_values: int, destinations: int) -> int:
+        """Link activations charged to the energy model."""
+
+    # ---- queue/cycle protocol ----------------------------------------
+    def enqueue(self, unique_values: int, destinations: int) -> None:
+        """Queue a delivery of ``unique_values`` distinct elements that
+        together reach ``destinations`` multiplier switches."""
+        self._validate(unique_values, destinations)
+        self._pending_slots += self._bandwidth_slots(unique_values, destinations)
+        self.counters.add("dn_switch_traversals", self._switch_traversals(unique_values, destinations))
+        self.counters.add("dn_wire_traversals", self._wire_traversals(unique_values, destinations))
+        self.counters.add("dn_elements_sent", unique_values)
+
+    @property
+    def pending_slots(self) -> int:
+        return self._pending_slots
+
+    @property
+    def is_idle(self) -> bool:
+        return self._pending_slots == 0
+
+    def cycle(self) -> None:
+        delivered = min(self.bandwidth, self._pending_slots)
+        self._pending_slots -= delivered
+        if delivered:
+            self.counters.add("dn_busy_cycles", 1)
+        self._current_cycle += 1
+
+    def skip_cycles(self, count: int) -> None:
+        """Batched :meth:`cycle`: drains ``count`` cycles of bandwidth."""
+        if count < 0:
+            raise ValueError("cannot skip a negative number of cycles")
+        busy = min(count, math.ceil(self._pending_slots / self.bandwidth))
+        self._pending_slots = max(0, self._pending_slots - count * self.bandwidth)
+        self.counters.add("dn_busy_cycles", busy)
+        self._current_cycle += count
+
+    def drain_cycles(self) -> int:
+        """Cycles needed to drain the current queue at full bandwidth."""
+        return math.ceil(self._pending_slots / self.bandwidth)
+
+    # ---- batched helpers used by the engines ---------------------------
+    def delivery_cycles(self, unique_values: int, destinations: int) -> int:
+        """Cycles to push one delivery through the GB read ports."""
+        self._validate(unique_values, destinations)
+        return math.ceil(self._bandwidth_slots(unique_values, destinations) / self.bandwidth)
+
+    def record_delivery(self, unique_values: int, destinations: int) -> int:
+        """Account a whole delivery at once; returns the cycles consumed."""
+        cycles = self.delivery_cycles(unique_values, destinations)
+        self.enqueue(unique_values, destinations)
+        self.skip_cycles(cycles)
+        return cycles
+
+    def _validate(self, unique_values: int, destinations: int) -> None:
+        if unique_values < 0 or destinations < 0:
+            raise ValueError("delivery sizes must be non-negative")
+        if destinations > 0 and unique_values == 0:
+            raise ValueError("a delivery with destinations needs values")
+
+    def reset(self) -> None:
+        super().reset()
+        self._pending_slots = 0
+
+
+class TreeNetwork(DistributionNetwork):
+    """MAERI-style replicated binary distribution trees.
+
+    The physical fabric replicates a ``num_leaves``-leaf binary tree once
+    per GB read port (``bandwidth`` trees). A multicast of one value to
+    ``d`` destinations activates the switches along the covering subtree:
+    ``depth`` levels down plus the extra branches that split towards each
+    destination, i.e. about ``depth + (d - 1)`` switch hops.
+    """
+
+    def __init__(self, num_leaves: int, bandwidth: int, name: str = "dn-tree") -> None:
+        super().__init__(name, num_leaves, bandwidth)
+        self.depth = _log2_ceil(num_leaves)
+
+    @property
+    def pipeline_latency(self) -> int:
+        # Single-cycle delivery per the paper: the whole tree traversal
+        # completes within one clock once a read-port slot is granted.
+        return 1
+
+    @property
+    def num_switches(self) -> int:
+        """Switches in one tree replica (internal nodes of a binary tree)."""
+        return self.num_leaves - 1
+
+    def _bandwidth_slots(self, unique_values: int, destinations: int) -> int:
+        return unique_values
+
+    def _switch_traversals(self, unique_values: int, destinations: int) -> int:
+        if unique_values == 0:
+            return 0
+        fanout = max(1, destinations // max(unique_values, 1))
+        return unique_values * (self.depth + max(0, fanout - 1))
+
+    def _wire_traversals(self, unique_values: int, destinations: int) -> int:
+        # One link per switch hop plus the final switch→MS links.
+        return self._switch_traversals(unique_values, destinations) + destinations
+
+
+class BenesNetwork(DistributionNetwork):
+    """SIGMA-style Benes topology: ``2*log2(N)+1`` levels of 2x2 switches.
+
+    Non-blocking: any unicast/multicast pattern routes in a single pass.
+    Every element traverses all levels, so the per-element switch cost is
+    the level count (cheap switches, but more of them than a tree).
+    """
+
+    def __init__(self, num_leaves: int, bandwidth: int, name: str = "dn-benes") -> None:
+        super().__init__(name, num_leaves, bandwidth)
+        self.levels = 2 * _log2_ceil(num_leaves) + 1
+
+    @property
+    def pipeline_latency(self) -> int:
+        return 1
+
+    @property
+    def num_switches(self) -> int:
+        """2x2 switches in the fabric: N/2 per level."""
+        return (self.num_leaves // 2) * self.levels
+
+    def _bandwidth_slots(self, unique_values: int, destinations: int) -> int:
+        return unique_values
+
+    def _switch_traversals(self, unique_values: int, destinations: int) -> int:
+        if unique_values == 0:
+            return 0
+        # Multicast replication happens progressively across levels; charge
+        # the dominant term: each *delivered copy* exits through the last
+        # level, and each unique value walks all levels once.
+        return unique_values * self.levels + max(0, destinations - unique_values)
+
+    def _wire_traversals(self, unique_values: int, destinations: int) -> int:
+        return self._switch_traversals(unique_values, destinations) + destinations
+
+
+class PointToPointNetwork(DistributionNetwork):
+    """Unicast-only operand links for systolic arrays (TPU).
+
+    No multicast: a value reaching ``d`` processing elements consumes ``d``
+    bandwidth slots (in a real systolic array reuse happens *spatially* by
+    neighbour forwarding inside the PE grid, which the systolic engine
+    models; the DN itself only feeds array edges).
+    """
+
+    def __init__(self, num_leaves: int, bandwidth: int, name: str = "dn-pop") -> None:
+        super().__init__(name, num_leaves, bandwidth)
+
+    @property
+    def pipeline_latency(self) -> int:
+        return 1
+
+    @property
+    def num_switches(self) -> int:
+        return 0
+
+    def _bandwidth_slots(self, unique_values: int, destinations: int) -> int:
+        return max(unique_values, destinations)
+
+    def _switch_traversals(self, unique_values: int, destinations: int) -> int:
+        return 0
+
+    def _wire_traversals(self, unique_values: int, destinations: int) -> int:
+        return max(unique_values, destinations)
+
+
+def build_distribution_network(kind, num_leaves: int, bandwidth: int) -> DistributionNetwork:
+    """Factory keyed on :class:`repro.config.DistributionKind`."""
+    from repro.config.hardware import DistributionKind
+
+    if kind is DistributionKind.TREE:
+        return TreeNetwork(num_leaves, bandwidth)
+    if kind is DistributionKind.BENES:
+        return BenesNetwork(num_leaves, bandwidth)
+    if kind is DistributionKind.POINT_TO_POINT:
+        return PointToPointNetwork(num_leaves, bandwidth)
+    raise ConfigurationError(f"unknown distribution network kind: {kind!r}")

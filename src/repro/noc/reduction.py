@@ -1,0 +1,266 @@
+"""Reduction Networks: psum accumulation (paper Section IV-A-3).
+
+- :class:`ReductionTree` (RT) — a plain binary adder tree; reduces one
+  fixed power-of-two cluster spanning the whole fabric.
+- :class:`AugmentedReductionTree` (ART / ART+ACC) — MAERI's tree with 3:1
+  adders and same-level horizontal links, supporting multiple
+  arbitrary-size non-blocking virtual reduction trees; the ``+ACC``
+  variant adds accumulators at the outputs so fold psums pipeline without
+  looping back through the distribution network.
+- :class:`ForwardingAdderNetwork` (FAN) — SIGMA's cheaper equivalent of
+  ART built from 2:1 adders with forwarding links.
+- :class:`LinearReductionNetwork` (LRN) — the sequential accumulation used
+  by rigid designs (TPU, Eyeriss, ShiDianNao): one accumulator per lane,
+  one operand folded in per cycle.
+
+Timing contract used by the engines: tree-based RNs are *pipelined* — they
+accept one new wave of products per cycle and add ``reduction_latency``
+cycles of fill/drain; the linear RN serializes each cluster.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError, MappingError
+from repro.noc.base import ClockedComponent
+
+
+def _log2_ceil(value: int) -> int:
+    return max(0, math.ceil(math.log2(value))) if value > 1 else 0
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class ReductionNetwork(ClockedComponent):
+    """Common cluster bookkeeping for all RN fabrics."""
+
+    #: adder fan-in of the switch type (3 for ART, 2 otherwise)
+    adder_fan_in = 2
+    #: activity counter name for adder operations; ART's 3:1 switches are
+    #: priced separately by the energy table
+    adder_counter = "rn_adder_ops"
+    #: whether arbitrary simultaneous cluster sizes are supported
+    variable_clusters = False
+    #: whether fold psums accumulate at the RN output (ART+ACC / FAN+ACC)
+    has_accumulators = False
+
+    def __init__(self, num_inputs: int, bandwidth: int, name: str) -> None:
+        super().__init__(name)
+        if num_inputs < 2:
+            raise ConfigurationError("an RN needs at least 2 inputs")
+        if not 1 <= bandwidth <= num_inputs:
+            raise ConfigurationError(
+                f"RN bandwidth must be in [1, {num_inputs}], got {bandwidth}"
+            )
+        self.num_inputs = num_inputs
+        self.bandwidth = bandwidth
+        self._cluster_sizes: tuple = ()
+
+    # ---- configuration --------------------------------------------------
+    def configure_clusters(self, cluster_sizes: Sequence[int]) -> None:
+        sizes = tuple(int(size) for size in cluster_sizes)
+        if any(size < 1 for size in sizes):
+            raise MappingError("cluster sizes must be positive")
+        if sum(sizes) > self.num_inputs:
+            raise MappingError(
+                f"clusters need {sum(sizes)} RN inputs but only "
+                f"{self.num_inputs} exist"
+            )
+        self._validate_clusters(sizes)
+        self._cluster_sizes = sizes
+        self.counters.add("rn_reconfigurations", 1)
+
+    def _validate_clusters(self, sizes: tuple) -> None:
+        if self.variable_clusters:
+            # arbitrary simultaneous sizes must embed as non-blocking
+            # virtual trees over the physical substrate — construct the
+            # embedding to prove it (repro.noc.art_allocation)
+            from repro.noc.art_allocation import allocate_virtual_trees
+
+            allocate_virtual_trees(sizes, self.num_inputs)
+            return
+        if len(set(sizes)) > 1:
+            raise MappingError(
+                f"{type(self).__name__} only supports uniform cluster sizes, "
+                f"got {sorted(set(sizes))}"
+            )
+
+    @property
+    def cluster_sizes(self) -> tuple:
+        return self._cluster_sizes
+
+    # ---- timing -----------------------------------------------------------
+    @abc.abstractmethod
+    def reduction_latency(self, cluster_size: int) -> int:
+        """Cycles from products entering the RN to the cluster psum exiting."""
+
+    @property
+    def pipelined(self) -> bool:
+        """Whether a new wave of products can enter every cycle."""
+        return True
+
+    def output_cycles(self, outputs: int) -> int:
+        """Cycles to push ``outputs`` completed psums to the write port."""
+        return math.ceil(outputs / self.bandwidth) if outputs else 0
+
+    # ---- activity -----------------------------------------------------------
+    def record_reduction_wave(self, cluster_sizes: Sequence[int]) -> None:
+        """Account one wave of cluster reductions (adders + wires)."""
+        adders = sum(max(0, size - 1) for size in cluster_sizes)
+        wires = sum(self._wave_wires(size) for size in cluster_sizes)
+        self.counters.add(self.adder_counter, adders)
+        self.counters.add("rn_wire_traversals", wires)
+
+    def _wave_wires(self, cluster_size: int) -> int:
+        # Every product and every intermediate psum travels one link.
+        return 2 * cluster_size - 1 if cluster_size else 0
+
+    def record_accumulations(self, count: int) -> None:
+        """Fold psum accumulations at the RN output accumulators."""
+        self.counters.add("rn_accumulator_ops", count)
+
+    def record_outputs(self, count: int) -> None:
+        self.counters.add("rn_outputs_written", count)
+
+    def cycle(self) -> None:
+        self._current_cycle += 1
+
+    def reset(self) -> None:
+        super().reset()
+        self._cluster_sizes = ()
+
+
+class ReductionTree(ReductionNetwork):
+    """Plain binary adder tree: fixed power-of-two clusters."""
+
+    adder_fan_in = 2
+    variable_clusters = False
+
+    def __init__(self, num_inputs: int, bandwidth: int, name: str = "rn-rt") -> None:
+        super().__init__(num_inputs, bandwidth, name)
+        self.depth = _log2_ceil(num_inputs)
+
+    def _validate_clusters(self, sizes: tuple) -> None:
+        super()._validate_clusters(sizes)
+        for size in set(sizes):
+            if not _is_power_of_two(size):
+                raise MappingError(
+                    f"a plain reduction tree needs power-of-two clusters, got {size}"
+                )
+
+    def reduction_latency(self, cluster_size: int) -> int:
+        return _log2_ceil(cluster_size)
+
+    @property
+    def num_adders(self) -> int:
+        return self.num_inputs - 1
+
+
+class AugmentedReductionTree(ReductionNetwork):
+    """MAERI's ART: 3:1 adder switches + horizontal forwarding links.
+
+    Arbitrary simultaneous cluster sizes map as non-blocking virtual trees
+    over the single physical substrate. With ``accumulate=True`` (ART+ACC)
+    a bank of accumulators sits at the outputs so consecutive fold psums
+    pipeline without any loop through the DN.
+    """
+
+    adder_fan_in = 3
+    variable_clusters = True
+    adder_counter = "rn_adder_ops_3to1"
+
+    def __init__(
+        self,
+        num_inputs: int,
+        bandwidth: int,
+        accumulate: bool = False,
+        name: str = "rn-art",
+    ) -> None:
+        super().__init__(num_inputs, bandwidth, name)
+        self.depth = _log2_ceil(num_inputs)
+        self.has_accumulators = accumulate
+
+    def reduction_latency(self, cluster_size: int) -> int:
+        # 3:1 switches collapse levels slightly, but the virtual tree still
+        # spans ceil(log2(size)) levels of the physical substrate.
+        return _log2_ceil(cluster_size) + (1 if self.has_accumulators else 0)
+
+    @property
+    def num_adders(self) -> int:
+        return self.num_inputs - 1
+
+
+class ForwardingAdderNetwork(ReductionNetwork):
+    """SIGMA's FAN: ART-equivalent flexibility from cheaper 2:1 adders.
+
+    FAN always ships with output accumulators in SIGMA, so fold psums
+    pipeline exactly as with ART+ACC.
+    """
+
+    adder_fan_in = 2
+    variable_clusters = True
+    has_accumulators = True
+
+    def __init__(self, num_inputs: int, bandwidth: int, name: str = "rn-fan") -> None:
+        super().__init__(num_inputs, bandwidth, name)
+        self.depth = _log2_ceil(num_inputs)
+
+    def reduction_latency(self, cluster_size: int) -> int:
+        return _log2_ceil(cluster_size) + 1
+
+    @property
+    def num_adders(self) -> int:
+        return self.num_inputs - 1
+
+
+class LinearReductionNetwork(ReductionNetwork):
+    """Sequential per-lane accumulation (TPU / Eyeriss / ShiDianNao).
+
+    Each cluster owns an accumulator that folds in one product per cycle,
+    so reducing a cluster of size ``n`` takes ``n`` cycles and the network
+    is **not** wave-pipelined across distinct clusters sharing a lane.
+    """
+
+    adder_fan_in = 2
+    variable_clusters = False
+    has_accumulators = True
+
+    def __init__(self, num_inputs: int, bandwidth: int, name: str = "rn-lrn") -> None:
+        super().__init__(num_inputs, bandwidth, name)
+
+    def reduction_latency(self, cluster_size: int) -> int:
+        return max(1, cluster_size)
+
+    @property
+    def pipelined(self) -> bool:
+        return False
+
+    def _wave_wires(self, cluster_size: int) -> int:
+        # products hop through the accumulator chain once each
+        return cluster_size
+
+    @property
+    def num_adders(self) -> int:
+        return self.num_inputs
+
+
+def build_reduction_network(kind, num_inputs: int, bandwidth: int, accumulation_buffer: bool = True) -> ReductionNetwork:
+    """Factory keyed on :class:`repro.config.ReductionKind`."""
+    from repro.config.hardware import ReductionKind
+
+    if kind is ReductionKind.RT:
+        return ReductionTree(num_inputs, bandwidth)
+    if kind is ReductionKind.ART:
+        return AugmentedReductionTree(num_inputs, bandwidth, accumulate=accumulation_buffer)
+    if kind is ReductionKind.ART_ACC:
+        return AugmentedReductionTree(num_inputs, bandwidth, accumulate=True, name="rn-art-acc")
+    if kind is ReductionKind.FAN:
+        return ForwardingAdderNetwork(num_inputs, bandwidth)
+    if kind is ReductionKind.LINEAR:
+        return LinearReductionNetwork(num_inputs, bandwidth)
+    raise ConfigurationError(f"unknown reduction network kind: {kind!r}")

@@ -1,0 +1,33 @@
+"""Data-dependent optimizations (paper Section VI use cases 2 and 3).
+
+- :mod:`repro.opts.snapea` — a back-end extension: the SNAPEA
+  early-termination architecture (weight sign-reordering, a modified
+  memory controller, termination logic in the accumulation path, and the
+  SNAPEA energy table).
+- :mod:`repro.opts.scheduling` — a front-end extension: static filter
+  scheduling for sparse accelerators (No Scheduling, Random, and Largest
+  Filter First round builders for the sparse controller).
+
+Both rely on the simulator seeing *real tensor values*, which is exactly
+why the paper integrates STONNE with a DL framework.
+"""
+
+from repro.opts.scheduling import (
+    SchedulingPolicy,
+    largest_filter_first_rounds,
+    natural_order_rounds,
+    policy_round_builder,
+    random_rounds,
+)
+from repro.opts.snapea import SnapeaContext, SnapeaLayerStats, snapea_energy_uj
+
+__all__ = [
+    "SchedulingPolicy",
+    "SnapeaContext",
+    "SnapeaLayerStats",
+    "largest_filter_first_rounds",
+    "natural_order_rounds",
+    "policy_round_builder",
+    "random_rounds",
+    "snapea_energy_uj",
+]

@@ -1,0 +1,36 @@
+"""Tensor utilities: im2col lowering, sparse formats and pruning.
+
+These are the data-preparation substrates the simulator's front-end and
+memory controllers rely on. The paper's sparse controller "runs GEMM
+operations (any CONV operation can be mapped to GEMM using the img2col
+function) and supports both bitmap and CSR formats"; this package provides
+exactly those pieces.
+"""
+
+from repro.tensors.im2col import col2im_output, conv2d_output_shape, im2col
+from repro.tensors.pruning import magnitude_prune, sparsity_of
+from repro.tensors.quantize import (
+    QuantizationInfo,
+    quantize,
+    quantize_fp8,
+    quantize_int8,
+    quantize_model,
+)
+from repro.tensors.sparse import BitmapMatrix, CsrMatrix, from_dense, to_dense
+
+__all__ = [
+    "BitmapMatrix",
+    "CsrMatrix",
+    "QuantizationInfo",
+    "col2im_output",
+    "conv2d_output_shape",
+    "from_dense",
+    "im2col",
+    "magnitude_prune",
+    "quantize",
+    "quantize_fp8",
+    "quantize_int8",
+    "quantize_model",
+    "sparsity_of",
+    "to_dense",
+]

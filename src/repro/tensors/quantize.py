@@ -1,0 +1,106 @@
+"""Low-precision datatype emulation.
+
+The paper runs its use cases with FP8 operands and notes that the output
+module's statistics "depend on the particular data format (e.g., FP16 or
+INT8)". The simulator prices energy/area by the configured
+:class:`~repro.config.DataType`; this module provides the matching *value*
+transformations, so a model can actually be run with quantization-faithful
+numerics and validated end to end:
+
+- symmetric linear INT8 quantization (scale = max|x| / 127), and
+- FP8 E4M3-style rounding (1 sign, 4 exponent, 3 mantissa bits).
+
+Both are emulated in float32 via fake-quantization (quantize-dequantize),
+the standard approach for studying numerical effects without integer
+kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.hardware import DataType
+from repro.errors import ConfigurationError
+
+_FP8_MAX = 448.0  # largest normal E4M3 value
+_FP8_MANTISSA_BITS = 3
+_FP8_MIN_EXP = -6  # smallest normal exponent of E4M3
+
+
+@dataclass(frozen=True)
+class QuantizationInfo:
+    """Bookkeeping of one tensor's quantization."""
+
+    dtype: DataType
+    scale: float
+    max_abs_error: float
+
+
+def quantize_int8(tensor: np.ndarray) -> tuple:
+    """Symmetric per-tensor INT8 fake quantization.
+
+    Returns ``(dequantized float32 tensor, QuantizationInfo)``.
+    """
+    tensor = np.asarray(tensor, dtype=np.float32)
+    peak = float(np.abs(tensor).max()) if tensor.size else 0.0
+    if peak == 0.0:
+        return tensor.copy(), QuantizationInfo(DataType.INT8, 1.0, 0.0)
+    scale = peak / 127.0
+    levels = np.clip(np.round(tensor / scale), -127, 127)
+    dequantized = (levels * scale).astype(np.float32)
+    error = float(np.abs(dequantized - tensor).max())
+    return dequantized, QuantizationInfo(DataType.INT8, scale, error)
+
+
+def quantize_fp8(tensor: np.ndarray) -> tuple:
+    """E4M3-style FP8 fake quantization (round-to-nearest mantissa)."""
+    tensor = np.asarray(tensor, dtype=np.float32)
+    if tensor.size == 0:
+        return tensor.copy(), QuantizationInfo(DataType.FP8, 1.0, 0.0)
+    clipped = np.clip(tensor, -_FP8_MAX, _FP8_MAX)
+    mantissa, exponent = np.frexp(clipped)
+    # flush subnormals below the E4M3 range to zero
+    tiny = exponent < _FP8_MIN_EXP
+    steps = 2.0 ** (_FP8_MANTISSA_BITS + 1)  # frexp mantissa in [0.5, 1)
+    mantissa = np.round(mantissa * steps) / steps
+    rounded = np.ldexp(mantissa, exponent).astype(np.float32)
+    rounded[tiny] = 0.0
+    error = float(np.abs(rounded - tensor).max())
+    return rounded, QuantizationInfo(DataType.FP8, 1.0, error)
+
+
+def quantize(tensor: np.ndarray, dtype: DataType) -> tuple:
+    """Dispatch on the configured datatype; FP16/FP32 round-trip natively."""
+    if dtype is DataType.INT8:
+        return quantize_int8(tensor)
+    if dtype is DataType.FP8:
+        return quantize_fp8(tensor)
+    if dtype is DataType.FP16:
+        cast = np.asarray(tensor, dtype=np.float16).astype(np.float32)
+        error = float(np.abs(cast - tensor).max()) if cast.size else 0.0
+        return cast, QuantizationInfo(DataType.FP16, 1.0, error)
+    if dtype is DataType.FP32:
+        tensor = np.asarray(tensor, dtype=np.float32)
+        return tensor.copy(), QuantizationInfo(DataType.FP32, 1.0, 0.0)
+    raise ConfigurationError(f"no quantizer for datatype {dtype!r}")
+
+
+def quantize_model(model, dtype: DataType) -> int:
+    """Fake-quantize every conv/linear weight in place; returns the count.
+
+    After this, simulating the model on an accelerator configured with the
+    same :class:`DataType` is numerically consistent with the energy/area
+    tables being used.
+    """
+    from repro.frontend.layers import Conv2d, Linear
+
+    quantized = 0
+    for module in model.modules():
+        if isinstance(module, (Conv2d, Linear)):
+            module.weight.data, _info = quantize(module.weight.data, dtype)
+            if module.bias is not None:
+                module.bias.data, _info = quantize(module.bias.data, dtype)
+            quantized += 1
+    return quantized

@@ -1,0 +1,145 @@
+"""Sparse matrix formats used by the sparse memory controller.
+
+The paper's sparse controller "supports both bitmap and CSR formats to
+represent the sparsity of the MK and KN matrices". Both formats here carry
+enough metadata for the controller to compute per-row nonzero counts (the
+dynamic cluster sizes that drive SIGMA-like execution) and to reconstruct
+the dense operand for functional checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BitmapMatrix:
+    """Bitmap compression: a dense 0/1 mask plus the packed nonzero values.
+
+    ``values`` stores the nonzeros in row-major scan order of ``bitmap``.
+    """
+
+    bitmap: np.ndarray
+    values: np.ndarray
+    shape: tuple
+
+    def __post_init__(self) -> None:
+        if self.bitmap.shape != self.shape:
+            raise ConfigurationError("bitmap shape must match matrix shape")
+        nnz = int(self.bitmap.sum())
+        if self.values.shape != (nnz,):
+            raise ConfigurationError(
+                f"bitmap has {nnz} set bits but {self.values.shape[0]} values"
+            )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    def row_nnz(self) -> np.ndarray:
+        """Nonzeros per row — the effective filter sizes of use case 3."""
+        return self.bitmap.sum(axis=1).astype(np.int64)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.values.dtype)
+        dense[self.bitmap.astype(bool)] = self.values
+        return dense
+
+    def metadata_bits(self) -> int:
+        """Storage overhead of the compression metadata, in bits."""
+        return int(np.prod(self.shape))
+
+
+@dataclass(frozen=True)
+class CsrMatrix:
+    """Compressed Sparse Row: row pointers, column indices and values."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    values: np.ndarray
+    shape: tuple
+
+    def __post_init__(self) -> None:
+        rows = self.shape[0]
+        if self.indptr.shape != (rows + 1,):
+            raise ConfigurationError(
+                f"indptr must have {rows + 1} entries, got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.values):
+            raise ConfigurationError("indptr bounds do not match value count")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ConfigurationError("indptr must be non-decreasing")
+        if self.indices.shape != self.values.shape:
+            raise ConfigurationError("indices and values must align")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[1]
+        ):
+            raise ConfigurationError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    def row_nnz(self) -> np.ndarray:
+        return np.diff(self.indptr).astype(np.int64)
+
+    def row(self, i: int) -> tuple:
+        """(column indices, values) of row ``i``."""
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.values.dtype)
+        for i in range(self.shape[0]):
+            cols, vals = self.row(i)
+            dense[i, cols] = vals
+        return dense
+
+    def metadata_bits(self, index_bits: int = 16) -> int:
+        return (len(self.indptr) + len(self.indices)) * index_bits
+
+
+SparseMatrix = Union[BitmapMatrix, CsrMatrix]
+
+
+def from_dense(dense: np.ndarray, fmt: str = "bitmap") -> SparseMatrix:
+    """Compress a dense 2-D matrix into the requested format."""
+    if dense.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D matrix, got shape {dense.shape}")
+    if fmt == "bitmap":
+        mask = dense != 0
+        return BitmapMatrix(
+            bitmap=mask.astype(np.uint8), values=dense[mask].copy(), shape=dense.shape
+        )
+    if fmt == "csr":
+        indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        indices = []
+        values = []
+        for i in range(dense.shape[0]):
+            cols = np.nonzero(dense[i])[0]
+            indptr[i + 1] = indptr[i] + len(cols)
+            indices.append(cols)
+            values.append(dense[i, cols])
+        indices_arr = (
+            np.concatenate(indices) if indices else np.zeros(0, dtype=np.int64)
+        )
+        values_arr = (
+            np.concatenate(values) if values else np.zeros(0, dtype=dense.dtype)
+        )
+        return CsrMatrix(
+            indptr=indptr,
+            indices=indices_arr.astype(np.int64),
+            values=values_arr,
+            shape=dense.shape,
+        )
+    raise ConfigurationError(f"unknown sparse format {fmt!r}; use 'bitmap' or 'csr'")
+
+
+def to_dense(matrix: SparseMatrix) -> np.ndarray:
+    """Decompress back to a dense matrix."""
+    return matrix.to_dense()

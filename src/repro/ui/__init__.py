@@ -1,0 +1,11 @@
+"""The STONNE User Interface (paper Fig. 2a, Input Module).
+
+A command-line tool that loads layer and tile parameters onto a selected
+simulator instance and runs it with random tensors — "allowing for faster
+executions, facilitating rapid prototyping and debugging" — plus
+full-model and experiment subcommands.
+"""
+
+from repro.ui.cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,396 @@
+"""``stonne`` command-line interface.
+
+Subcommands mirror how the original tool is driven:
+
+- ``stonne conv`` / ``stonne gemm`` / ``stonne spmm`` — the *STONNE User
+  Interface*: run a single layer with random tensors on a configured
+  accelerator and print the JSON statistics.
+- ``stonne model`` — full-model simulation of one Table I model on a
+  Table IV architecture.
+- ``stonne experiment`` — regenerate one of the paper's figures/tables.
+- ``stonne mkconfig`` — write a preset hardware ``.cfg`` file to edit.
+
+Examples::
+
+    stonne conv -R 3 -S 3 -C 6 -K 6 -X 7 -Y 7 --arch maeri --num-ms 32 --bw 4
+    stonne gemm -M 64 -N 128 -K 32 --arch sigma --sparsity 0.8
+    stonne model resnet50 --arch sigma
+    stonne experiment tablev
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import (
+    HardwareConfig,
+    TileConfig,
+    load_config,
+    maeri_like,
+    save_config,
+    sigma_like,
+    tpu_like,
+)
+from repro.engine.accelerator import Accelerator
+from repro.errors import StonneError
+
+
+def _build_config(args: argparse.Namespace) -> HardwareConfig:
+    if getattr(args, "config", None):
+        return load_config(args.config)
+    presets = {"tpu": tpu_like, "maeri": maeri_like, "sigma": sigma_like}
+    builder = presets[args.arch]
+    kwargs = {}
+    if args.arch == "tpu":
+        kwargs["num_pes"] = args.num_ms
+        if args.bw:
+            kwargs["bandwidth"] = args.bw
+    else:
+        kwargs["num_ms"] = args.num_ms
+        kwargs["bandwidth"] = args.bw or max(1, args.num_ms // 2)
+    return builder(**kwargs)
+
+
+def _add_hw_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arch", choices=("tpu", "maeri", "sigma"), default="maeri",
+        help="Table IV preset to instantiate",
+    )
+    parser.add_argument("--num-ms", type=int, default=256,
+                        help="multiplier switches / PEs")
+    parser.add_argument("--bw", type=int, default=0,
+                        help="GB bandwidth in elements/cycle (0 = preset default)")
+    parser.add_argument("--config", help="hardware .cfg file (overrides presets)")
+    parser.add_argument("--seed", type=int, default=0, help="tensor RNG seed")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full JSON statistics report")
+
+
+def _parse_tile(text: Optional[str]) -> Optional[TileConfig]:
+    """Parse ``T_R,T_S,T_C,T_G,T_K,T_N,T_X,T_Y`` (paper tile notation)."""
+    if not text:
+        return None
+    values = [int(v) for v in text.split(",")]
+    if len(values) != 8:
+        raise StonneError(
+            "tile must have 8 comma-separated values: T_R,T_S,T_C,T_G,T_K,T_N,T_X,T_Y"
+        )
+    keys = ("t_r", "t_s", "t_c", "t_g", "t_k", "t_n", "t_x", "t_y")
+    return TileConfig(**dict(zip(keys, values)))
+
+
+def _report(acc: Accelerator, as_json: bool) -> None:
+    if as_json:
+        print(acc.report.to_json())
+        return
+    summary = acc.report.as_dict()
+    energy = summary["energy_uj"]
+    print(f"accelerator      : {summary['accelerator']}")
+    print(f"total cycles     : {summary['total_cycles']}")
+    print(f"total MACs       : {summary['total_macs']}")
+    print(f"runtime (us)     : {summary['runtime_us']:.3f}")
+    print(f"energy (uJ)      : {energy['total']:.4f}  {energy['by_group']}")
+    print(f"area (um^2)      : {summary['area_um2']['total']:.0f}")
+
+
+def _cmd_conv(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    acc = Accelerator(_build_config(args))
+    weights = rng.standard_normal(
+        (args.K * args.G, args.C, args.R, args.S)
+    ).astype(np.float32)
+    activations = rng.standard_normal(
+        (args.N, args.C * args.G, args.X, args.Y)
+    ).astype(np.float32)
+    acc.run_conv(
+        weights, activations, stride=args.strides, groups=args.G,
+        tile=_parse_tile(args.tile), name="cli-conv",
+    )
+    _report(acc, args.json)
+    return 0
+
+
+def _cmd_gemm(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    acc = Accelerator(_build_config(args))
+    a = rng.standard_normal((args.M, args.K)).astype(np.float32)
+    b = rng.standard_normal((args.K, args.N)).astype(np.float32)
+    if args.sparsity:
+        from repro.analytical.sigma_model import uniform_sparse_matrix
+
+        a = uniform_sparse_matrix(args.M, args.K, args.sparsity, seed=args.seed)
+    if acc.sparse_controller is not None:
+        acc.run_spmm(a, b, name="cli-spmm")
+    else:
+        acc.run_gemm(a, b, name="cli-gemm")
+    _report(acc, args.json)
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from repro.frontend.models import build_model, model_input
+    from repro.frontend.simulated import detach_context, simulate
+
+    model = build_model(args.name, seed=args.seed, prune=not args.dense)
+    x = model_input(args.name, batch=args.batch, seed=args.seed + 1)
+    acc = Accelerator(_build_config(args))
+    simulate(model, acc)
+    model(x)
+    detach_context(model)
+    _report(acc, args.json)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import fig1, fig5, fig6, fig7, fig9, tablev
+    from repro.experiments.runner import format_table
+
+    name = args.which
+    if name == "fig1a":
+        print(format_table(fig1.run_fig1a()))
+    elif name == "fig1b":
+        print(format_table(fig1.run_fig1b()))
+    elif name == "fig1c":
+        print(format_table(fig1.run_fig1c()))
+    elif name == "tablev":
+        print(format_table(tablev.run_tablev()))
+    elif name == "fig5":
+        rows = fig5.run_fig5()
+        print(format_table(rows, ["model", "arch", "cycles", "energy_total_uj"]))
+        print(json.dumps(fig5.summarize_speedups(rows), indent=2))
+    elif name == "fig5c":
+        print(format_table(fig5.run_fig5c()))
+    elif name == "fig6":
+        print(format_table(fig6.run_fig6()))
+    elif name == "fig7a":
+        print(format_table(fig7.run_fig7a()))
+    elif name == "fig9":
+        print(format_table(fig9.run_fig9(), [
+            "model", "policy", "cycles", "normalized_runtime", "normalized_energy",
+        ]))
+    elif name == "fig9c":
+        print(format_table(fig9.run_fig9c(), [
+            "label", "layer", "normalized_runtime", "normalized_energy",
+        ]))
+    else:  # pragma: no cover - argparse restricts choices
+        raise StonneError(f"unknown experiment {name!r}")
+    return 0
+
+
+def _cmd_mkconfig(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    save_config(config, args.path)
+    print(f"wrote {args.arch} preset to {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stonne",
+        description="STONNE reproduction: cycle-level DNN accelerator simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    conv = sub.add_parser("conv", help="simulate one convolution with random tensors")
+    for flag, default in (("-R", 3), ("-S", 3), ("-C", 6), ("-K", 6),
+                          ("-G", 1), ("-N", 1), ("-X", 7), ("-Y", 7)):
+        conv.add_argument(flag, type=int, default=default)
+    conv.add_argument("--strides", type=int, default=1)
+    conv.add_argument("--tile", help="T_R,T_S,T_C,T_G,T_K,T_N,T_X,T_Y")
+    _add_hw_args(conv)
+    conv.set_defaults(func=_cmd_conv)
+
+    gemm = sub.add_parser("gemm", help="simulate one (Sp)GEMM with random tensors")
+    gemm.add_argument("-M", type=int, default=64)
+    gemm.add_argument("-N", type=int, default=64)
+    gemm.add_argument("-K", type=int, default=64)
+    gemm.add_argument("--sparsity", type=float, default=0.0,
+                      help="stationary-operand sparsity in [0, 1)")
+    _add_hw_args(gemm)
+    gemm.set_defaults(func=_cmd_gemm)
+
+    spmm = sub.add_parser("spmm", help="alias of gemm with --arch sigma")
+    spmm.add_argument("-M", type=int, default=64)
+    spmm.add_argument("-N", type=int, default=64)
+    spmm.add_argument("-K", type=int, default=64)
+    spmm.add_argument("--sparsity", type=float, default=0.8)
+    _add_hw_args(spmm)
+    spmm.set_defaults(func=_cmd_gemm, arch="sigma")
+
+    model = sub.add_parser("model", help="full-model simulation of a Table I model")
+    model.add_argument("name", choices=(
+        "mobilenets", "squeezenet", "alexnet", "resnet50", "vgg16",
+        "ssd-mobilenets", "bert",
+    ))
+    model.add_argument("--batch", type=int, default=1)
+    model.add_argument("--dense", action="store_true", help="skip weight pruning")
+    _add_hw_args(model)
+    model.set_defaults(func=_cmd_model)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    experiment.add_argument("which", choices=(
+        "fig1a", "fig1b", "fig1c", "tablev", "fig5", "fig5c", "fig6",
+        "fig7a", "fig9", "fig9c",
+    ))
+    experiment.set_defaults(func=_cmd_experiment)
+
+    mkconfig = sub.add_parser("mkconfig", help="write a preset hardware .cfg file")
+    mkconfig.add_argument("path")
+    _add_hw_args(mkconfig)
+    mkconfig.set_defaults(func=_cmd_mkconfig)
+
+    interactive = sub.add_parser(
+        "interactive", help="the STONNE User Interface prompt"
+    )
+    interactive.add_argument("--seed", type=int, default=0)
+    interactive.set_defaults(func=_cmd_interactive)
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the Table V timing validation and a functional spot check",
+    )
+    validate.add_argument("--model", default="squeezenet",
+                          help="model for the functional spot check")
+    validate.set_defaults(func=_cmd_validate)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="design-space exploration of one layer across hardware points",
+    )
+    sweep.add_argument("-R", type=int, default=3)
+    sweep.add_argument("-S", type=int, default=3)
+    sweep.add_argument("-C", type=int, default=16)
+    sweep.add_argument("-K", type=int, default=16)
+    sweep.add_argument("-X", type=int, default=18)
+    sweep.add_argument("-Y", type=int, default=18)
+    sweep.add_argument(
+        "--architectures", default="tpu,maeri,sigma",
+        help="comma-separated templates (tpu, maeri, sigma, eyeriss)",
+    )
+    sweep.add_argument("--sizes", default="64,256",
+                       help="comma-separated fabric sizes")
+    sweep.add_argument("--pareto", action="store_true",
+                       help="also print the cycles-vs-energy Pareto front")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    energy = sub.add_parser(
+        "energy",
+        help="price a counter file with the table-based energy model",
+    )
+    energy.add_argument("counter_file")
+    energy.add_argument("--technology-nm", type=int, default=28)
+    energy.add_argument(
+        "--dtype", choices=("fp8", "int8", "fp16", "fp32"), default="fp8"
+    )
+    energy.set_defaults(func=_cmd_energy)
+
+    return parser
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """The paper's Section V, as one command: timing + functional."""
+    import numpy as np
+
+    from repro.experiments.runner import format_table
+    from repro.experiments.tablev import run_tablev
+    from repro.frontend.models import build_model, model_input
+    from repro.frontend.simulated import detach_context, simulate
+
+    rows = run_tablev()
+    print(format_table(rows, [
+        "design", "layer", "rtl_cycles", "repro_cycles", "error_vs_rtl_pct",
+    ]))
+    errors = [r["error_vs_rtl_pct"] for r in rows]
+    print(f"\ntiming: average error vs RTL = {np.mean(errors):.2f}% "
+          "(paper's own STONNE: 1.53%)")
+
+    model = build_model(args.model, seed=0)
+    x = model_input(args.model, batch=1, seed=1)
+    native = model(x)
+    failures = 0
+    for arch in ("tpu", "maeri", "sigma"):
+        acc = Accelerator(_build_config(
+            argparse.Namespace(arch=arch, num_ms=256,
+                               bw=128 if arch != "tpu" else 0, config=None)
+        ))
+        simulate(model, acc)
+        simulated = model(x)
+        detach_context(model)
+        ok = np.allclose(simulated, native, atol=1e-2, rtol=1e-3)
+        failures += 0 if ok else 1
+        print(f"functional: {args.model} on {arch:5s} -> "
+              f"{'MATCH' if ok else 'MISMATCH'} "
+              f"({acc.report.total_cycles} cycles)")
+    if failures:
+        raise StonneError(f"{failures} functional mismatches")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.config import ConvLayerSpec
+    from repro.experiments.dse import as_rows, pareto_front, sweep
+    from repro.experiments.runner import format_table
+
+    layer = ConvLayerSpec(
+        r=args.R, s=args.S, c=args.C, k=args.K, x=args.X, y=args.Y,
+        name="cli-sweep",
+    )
+    points = sweep(
+        layer,
+        architectures=tuple(a.strip() for a in args.architectures.split(",")),
+        sizes=tuple(int(v) for v in args.sizes.split(",")),
+    )
+    print(format_table(as_rows(points)))
+    if args.pareto:
+        print("\ncycles-vs-energy Pareto front:")
+        print(format_table(as_rows(pareto_front(points))))
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    """The paper's output-module script: counter file -> consumed energy."""
+    from pathlib import Path
+
+    from repro.config.hardware import DataType
+    from repro.engine.energy import EnergyTable, energy_report
+    from repro.engine.stats import parse_counter_file
+
+    path = Path(args.counter_file)
+    if not path.exists():
+        raise StonneError(f"counter file not found: {path}")
+    counters = parse_counter_file(path.read_text(encoding="utf-8"))
+    dtype = next(d for d in DataType if d.value == args.dtype)
+    table = EnergyTable.for_config(args.technology_nm, dtype)
+    breakdown = energy_report(counters, table)
+    print(f"technology       : {args.technology_nm} nm, {dtype.value}")
+    for group in sorted(breakdown.by_group_uj):
+        print(f"{group:16s} : {breakdown.by_group_uj[group]:.6f} uJ")
+    if breakdown.dram_uj:
+        print(f"{'DRAM':16s} : {breakdown.dram_uj:.6f} uJ")
+    print(f"{'total':16s} : {breakdown.total_uj:.6f} uJ")
+    return 0
+
+
+def _cmd_interactive(args: argparse.Namespace) -> int:
+    from repro.ui.interactive import run_interactive
+
+    return run_interactive(seed=args.seed)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except StonneError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

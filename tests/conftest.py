@@ -1,0 +1,26 @@
+"""Shared fixtures: seeded RNGs and small accelerator configurations."""
+
+import numpy as np
+import pytest
+
+from repro.config import maeri_like, sigma_like, tpu_like
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_maeri():
+    return maeri_like(num_ms=32, bandwidth=8)
+
+
+@pytest.fixture
+def small_sigma():
+    return sigma_like(num_ms=32, bandwidth=16)
+
+
+@pytest.fixture
+def small_tpu():
+    return tpu_like(num_pes=16)

@@ -1,0 +1,45 @@
+"""Cross-cutting analyses: layer-kind breakdown and utilization."""
+
+import pytest
+
+from repro.experiments.analysis import (
+    dominant_kind,
+    run_layer_kind_breakdown,
+    utilization_by_architecture,
+)
+
+
+@pytest.fixture(scope="module")
+def breakdown():
+    return run_layer_kind_breakdown(models=("mobilenets", "vgg16"))
+
+
+def test_shares_sum_to_one_per_architecture(breakdown):
+    for arch in ("tpu", "maeri", "sigma"):
+        shares = [r["share"] for r in breakdown if r["arch"] == arch]
+        assert sum(shares) == pytest.approx(1.0, abs=0.01)
+
+
+def test_compute_layers_dominate(breakdown):
+    for arch in ("tpu", "maeri", "sigma"):
+        kind = dominant_kind(breakdown, arch)
+        assert kind != "pool"
+
+
+def test_depthwise_weighs_heavier_on_the_rigid_fabric(breakdown):
+    """The Fig. 5 explanation: MobileNets' factorized convolutions strand
+    the TPU's rows, so their cycle share is larger there than on MAERI."""
+    def share(arch):
+        rows = [r for r in breakdown
+                if r["arch"] == arch and r["layer_kind"] == "depthwise-conv"]
+        return rows[0]["share"] if rows else 0.0
+
+    assert share("tpu") > share("maeri")
+
+
+def test_flexible_fabrics_utilize_more_multipliers():
+    rows = utilization_by_architecture(models=("mobilenets", "resnet50"))
+    by_arch = {r["arch"]: r["avg_multiplier_utilization"] for r in rows}
+    assert by_arch["maeri"] > by_arch["tpu"]
+    for value in by_arch.values():
+        assert 0 < value <= 1

@@ -1,0 +1,44 @@
+"""Batch-size behaviour of full-model simulation."""
+
+import numpy as np
+import pytest
+
+from repro.config import maeri_like, sigma_like
+from repro.engine.accelerator import Accelerator
+from repro.frontend.models import build_model, model_input
+from repro.frontend.simulated import detach_context, simulate
+
+
+def _run(model_name, batch, config):
+    model = build_model(model_name, seed=4)
+    x = model_input(model_name, batch=batch, seed=5)
+    native = model(x)
+    acc = Accelerator(config)
+    simulate(model, acc)
+    simulated = model(x)
+    detach_context(model)
+    assert np.allclose(simulated, native, atol=1e-2, rtol=1e-3)
+    return acc
+
+
+@pytest.mark.parametrize("model_name", ("squeezenet", "bert"))
+def test_batched_validation(model_name):
+    acc = _run(model_name, 3, maeri_like(128, 64))
+    assert acc.report.total_cycles > 0
+
+
+def test_larger_batches_amortize_per_layer_overheads():
+    """Cycles grow with batch, but sub-linearly per sample (setup, fills
+    and stationary loads amortize)."""
+    single = _run("squeezenet", 1, maeri_like(128, 64)).report.total_cycles
+    quad = _run("squeezenet", 4, maeri_like(128, 64)).report.total_cycles
+    assert quad > single
+    assert quad < 4 * single
+
+
+def test_sparse_fabric_amortizes_stationary_loads_across_batch():
+    """On SIGMA-like hardware the weights load once per round regardless
+    of how many samples stream through."""
+    single = _run("squeezenet", 1, sigma_like(128, 64)).report.total_cycles
+    quad = _run("squeezenet", 4, sigma_like(128, 64)).report.total_cycles
+    assert quad < 4 * single

@@ -1,0 +1,90 @@
+"""End-to-end flows: the Fig. 2 walk-through, config files and examples."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import CreateInstance, load_config, maeri_like, save_config
+from repro.api import (
+    ConfigureCONV,
+    ConfigureData,
+    ConfigureLinear,
+    ConfigureMaxPool,
+    RunOperation,
+)
+from repro.frontend import functional as F
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_fig2_walkthrough(rng, tmp_path):
+    """The paper's Fig. 2 example: Conv2d -> MaxPool -> Linear offloaded,
+    softmax native, driven from a hardware .cfg file."""
+    cfg_path = tmp_path / "stonne_hw.cfg"
+    save_config(maeri_like(num_ms=64, bandwidth=16), cfg_path)
+    instance = CreateInstance(cfg_path)
+
+    images = rng.standard_normal((1, 3, 10, 10)).astype(np.float32)
+    conv_w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+    fc_w = rng.standard_normal((10, 4 * 4 * 4)).astype(np.float32)
+
+    # nn.Conv2d -> SimulatedConv2d
+    ConfigureCONV(instance, name="conv1")
+    ConfigureData(instance, weights=conv_w, inputs=images)
+    conv_out = RunOperation(instance)
+
+    # nn.MaxPool -> SimulatedMaxPool
+    ConfigureMaxPool(instance, 2, name="pool1")
+    ConfigureData(instance, inputs=conv_out)
+    pooled = RunOperation(instance)
+
+    # nn.Linear -> SimulatedLinear
+    ConfigureLinear(instance, name="fc1")
+    ConfigureData(instance, weights=fc_w, inputs=pooled.reshape(-1, 1))
+    logits = RunOperation(instance)
+
+    # F.log_softmax runs natively on the "CPU"
+    prediction = F.log_softmax(logits.reshape(1, -1))
+
+    # the native reference path
+    ref = F.log_softmax(
+        (fc_w @ F.maxpool2d(F.conv2d(images, conv_w), 2).reshape(-1, 1)).reshape(1, -1)
+    )
+    assert np.allclose(prediction, ref, atol=1e-3)
+
+    report = instance.report
+    assert [l.name for l in report.layers] == ["conv1", "pool1", "fc1"]
+    assert report.total_cycles > 0
+
+
+def test_reports_survive_config_round_trip(rng, tmp_path):
+    config = maeri_like(num_ms=64, bandwidth=16)
+    path = tmp_path / "hw.cfg"
+    save_config(config, path)
+    assert load_config(path) == config
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "design_space_exploration.py",
+        "filter_scheduling.py",
+        "snapea_early_termination.py",
+        "full_model_inference.py",
+        "pareto_exploration.py",
+        "quantized_inference.py",
+    ],
+)
+def test_example_scripts_run(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

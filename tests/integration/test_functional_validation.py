@@ -1,0 +1,67 @@
+"""The paper's Section V functional validation.
+
+"We have executed the seven DNN models ... and for every sample, we have
+compared the output of the last DNN layer reported by PyTorch when running
+natively on the CPU, with the obtained for the executions with STONNE.
+They perfectly match for all cases."
+
+Here: every Table I model runs natively and then offloaded to each of the
+three Table IV accelerators; last-layer outputs must agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import maeri_like, sigma_like, tpu_like
+from repro.engine.accelerator import Accelerator
+from repro.frontend.models import MODEL_NAMES, build_model, model_input
+from repro.frontend.simulated import detach_context, simulate
+
+ARCH_CONFIGS = {
+    "tpu": tpu_like(num_pes=256),
+    "maeri": maeri_like(num_ms=256, bandwidth=128),
+    "sigma": sigma_like(num_ms=256, bandwidth=128),
+}
+
+
+@pytest.mark.parametrize("model_name", MODEL_NAMES)
+@pytest.mark.parametrize("arch", sorted(ARCH_CONFIGS))
+def test_simulated_prediction_matches_native(model_name, arch):
+    model = build_model(model_name, seed=7)
+    x = model_input(model_name, batch=2, seed=8)
+    native = model(x)
+
+    acc = Accelerator(ARCH_CONFIGS[arch])
+    simulate(model, acc)
+    simulated = model(x)
+    detach_context(model)
+
+    assert np.allclose(simulated, native, atol=1e-2, rtol=1e-3)
+    assert acc.report.total_cycles > 0
+    assert acc.report.total_macs > 0
+
+
+@pytest.mark.parametrize("model_name", ("squeezenet", "bert"))
+def test_multiple_samples_all_match(model_name):
+    """A small test set (several samples), as in the paper's 50-sample runs."""
+    model = build_model(model_name, seed=1)
+    acc = Accelerator(maeri_like(num_ms=256, bandwidth=128))
+    for sample in range(3):
+        x = model_input(model_name, batch=1, seed=100 + sample)
+        native = model(x)
+        simulate(model, acc)
+        simulated = model(x)
+        detach_context(model)
+        assert np.allclose(simulated, native, atol=1e-2, rtol=1e-3)
+
+
+def test_predicted_classes_agree():
+    """Predictions (argmax), the user-visible output, agree exactly."""
+    model = build_model("vgg16", seed=2)
+    x = model_input("vgg16", batch=4, seed=3)
+    native_classes = np.argmax(model(x), axis=1)
+    acc = Accelerator(sigma_like(num_ms=256, bandwidth=128))
+    simulate(model, acc)
+    simulated_classes = np.argmax(model(x), axis=1)
+    detach_context(model)
+    assert np.array_equal(native_classes, simulated_classes)

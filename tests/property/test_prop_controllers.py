@@ -1,0 +1,72 @@
+"""Property tests: controller timing invariants over random workloads."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.sigma_model import uniform_sparse_matrix
+from repro.config import ConvLayerSpec, maeri_like, sigma_like
+from repro.engine.accelerator import Accelerator
+
+
+@st.composite
+def small_layers(draw):
+    r = draw(st.integers(1, 3))
+    c = draw(st.integers(1, 8))
+    k = draw(st.integers(1, 8))
+    x = r + draw(st.integers(0, 6))
+    y = r + draw(st.integers(0, 6))
+    return ConvLayerSpec(r=r, s=r, c=c, k=k, x=x, y=y)
+
+
+@given(small_layers(), st.sampled_from([4, 8, 16, 32]))
+@settings(max_examples=50, deadline=None)
+def test_dense_cycles_lower_bound(layer, bandwidth):
+    """Cycles can never beat MACs / multipliers (physical throughput)."""
+    acc = Accelerator(maeri_like(32, bandwidth))
+    tile = acc.mapper.tile_for_conv(layer)
+    result = acc.dense_controller.run_conv(layer, tile)
+    assert result.cycles >= layer.num_macs / 32
+    assert result.macs == layer.num_macs
+    assert 0 < result.multiplier_utilization <= 1
+
+
+@given(small_layers())
+@settings(max_examples=30, deadline=None)
+def test_dense_bandwidth_monotonicity(layer):
+    acc_lo = Accelerator(maeri_like(32, 2))
+    acc_hi = Accelerator(maeri_like(32, 32))
+    tile_lo = acc_lo.mapper.tile_for_conv(layer)
+    tile_hi = acc_hi.mapper.tile_for_conv(layer)
+    lo = acc_lo.dense_controller.run_conv(layer, tile_lo).cycles
+    hi = acc_hi.dense_controller.run_conv(layer, tile_hi).cycles
+    assert lo >= hi
+
+
+@given(
+    st.integers(1, 16), st.integers(2, 32), st.integers(1, 16),
+    st.floats(0.0, 0.9), st.integers(0, 100),
+)
+@settings(max_examples=50, deadline=None)
+def test_sparse_cycles_lower_bound(m, k, n, sparsity, seed):
+    matrix = uniform_sparse_matrix(m, k, sparsity, seed=seed)
+    acc = Accelerator(sigma_like(32, 16))
+    result = acc.sparse_controller.run_spmm(matrix, n)
+    nnz = np.count_nonzero(matrix)
+    assert result.effective_macs == nnz * n
+    # each round streams at least one cycle per column
+    assert result.cycles >= result.rounds * n if nnz else True
+    assert 0 <= result.mapping_utilization <= 1
+
+
+@given(st.integers(1, 12), st.integers(2, 24), st.integers(1, 8),
+       st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_sparse_never_slower_than_its_dense_self(m, k, n, seed):
+    dense = uniform_sparse_matrix(m, k, 0.0, seed=seed)
+    sparse = uniform_sparse_matrix(m, k, 0.7, seed=seed)
+    acc_d = Accelerator(sigma_like(32, 16))
+    acc_s = Accelerator(sigma_like(32, 16))
+    dense_cycles = acc_d.sparse_controller.run_spmm(dense, n).cycles
+    sparse_cycles = acc_s.sparse_controller.run_spmm(sparse, n).cycles
+    assert sparse_cycles <= dense_cycles

@@ -1,0 +1,53 @@
+"""Property tests: CounterSet algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.base import CounterSet
+
+events = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]), st.integers(0, 1000), max_size=4
+)
+
+
+def _make(d):
+    cs = CounterSet()
+    for name, value in d.items():
+        cs.add(name, value)
+    return cs
+
+
+@given(events, events)
+@settings(max_examples=60, deadline=None)
+def test_merge_is_addition(d1, d2):
+    merged = _make(d1)
+    merged.merge(_make(d2))
+    for key in set(d1) | set(d2):
+        assert merged.get(key) == d1.get(key, 0) + d2.get(key, 0)
+
+
+@given(events, events)
+@settings(max_examples=60, deadline=None)
+def test_diff_inverts_merge(d1, d2):
+    base = _make(d1)
+    combined = _make(d1)
+    combined.merge(_make(d2))
+    delta = combined.diff(base)
+    assert delta.as_dict() == _make(d2).as_dict()
+
+
+@given(events, st.integers(0, 10))
+@settings(max_examples=60, deadline=None)
+def test_scaling_distributes(d, factor):
+    scaled = _make(d).scaled(factor)
+    for key, value in d.items():
+        assert scaled.get(key) == value * factor
+
+
+@given(events)
+@settings(max_examples=40, deadline=None)
+def test_copy_detached(d):
+    original = _make(d)
+    clone = original.copy()
+    clone.add("extra", 1)
+    assert "extra" not in original

@@ -1,0 +1,52 @@
+"""Property tests: im2col lowering agrees with direct convolution."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import functional as F
+from repro.tensors.im2col import col2im_output, im2col
+
+
+@st.composite
+def conv_cases(draw):
+    n = draw(st.integers(1, 2))
+    c = draw(st.integers(1, 4))
+    k = draw(st.integers(1, 4))
+    r = draw(st.integers(1, 3))
+    stride = draw(st.integers(1, 2))
+    padding = draw(st.integers(0, 1))
+    extra = draw(st.integers(0, 4))
+    x = r + stride * extra  # guarantees a valid output size
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    activations = rng.standard_normal((n, c, x + 2, x)).astype(np.float32)
+    weights = rng.standard_normal((k, c, r, r)).astype(np.float32)
+    return activations, weights, stride, padding
+
+
+@given(conv_cases())
+@settings(max_examples=60, deadline=None)
+def test_im2col_gemm_equals_direct_conv(case):
+    activations, weights, stride, padding = case
+    n, c, h, w = activations.shape
+    k, _, r, _ = weights.shape
+    xo = (h + 2 * padding - r) // stride + 1
+    yo = (w + 2 * padding - r) // stride + 1
+
+    cols = im2col(activations, r, r, stride, padding)
+    lowered = col2im_output(weights.reshape(k, -1) @ cols, n, xo, yo)
+    direct = F.conv2d(activations, weights, stride=stride, padding=padding)
+    assert np.allclose(lowered, direct, atol=1e-3)
+
+
+@given(conv_cases())
+@settings(max_examples=40, deadline=None)
+def test_im2col_column_count(case):
+    activations, weights, stride, padding = case
+    n, c, h, w = activations.shape
+    r = weights.shape[2]
+    xo = (h + 2 * padding - r) // stride + 1
+    yo = (w + 2 * padding - r) // stride + 1
+    cols = im2col(activations, r, r, stride, padding)
+    assert cols.shape == (c * r * r, n * xo * yo)

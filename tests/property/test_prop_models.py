@@ -1,0 +1,122 @@
+"""Property tests: energy/area model invariants and config round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import (
+    ControllerKind,
+    DataType,
+    DistributionKind,
+    HardwareConfig,
+    MultiplierKind,
+    ReductionKind,
+    parse_config,
+)
+from repro.engine.area import area_report
+from repro.engine.energy import EnergyTable, energy_report
+from repro.noc.base import CounterSet
+
+
+# ---------------------------------------------------------------------------
+# energy model
+# ---------------------------------------------------------------------------
+counter_names = st.sampled_from([
+    "mn_multiplications", "rn_adder_ops", "rn_adder_ops_3to1",
+    "rn_accumulator_ops", "gb_reads", "gb_writes", "dn_switch_traversals",
+    "dn_wire_traversals", "dram_bytes_read",
+])
+activity = st.dictionaries(counter_names, st.integers(0, 10**6), max_size=6)
+
+
+def _counters(events) -> CounterSet:
+    cs = CounterSet()
+    for name, value in events.items():
+        cs.add(name, value)
+    return cs
+
+
+@given(activity, activity)
+@settings(max_examples=60, deadline=None)
+def test_energy_is_additive_in_activity(a, b):
+    table = EnergyTable.for_config(28, DataType.FP8)
+    merged = dict(a)
+    for key, value in b.items():
+        merged[key] = merged.get(key, 0) + value
+    total_a = energy_report(_counters(a), table).total_uj
+    total_b = energy_report(_counters(b), table).total_uj
+    total_ab = energy_report(_counters(merged), table).total_uj
+    assert abs(total_ab - (total_a + total_b)) < 1e-9 * max(1.0, total_ab)
+
+
+@given(activity)
+@settings(max_examples=60, deadline=None)
+def test_energy_never_negative(events):
+    table = EnergyTable.for_config(28, DataType.FP8)
+    report = energy_report(_counters(events), table)
+    assert report.total_uj >= 0
+    assert all(v >= 0 for v in report.by_group_uj.values())
+
+
+@given(activity, st.sampled_from([7, 14, 28, 45]))
+@settings(max_examples=40, deadline=None)
+def test_energy_monotone_in_technology(events, node):
+    fp8 = DataType.FP8
+    smaller = energy_report(_counters(events), EnergyTable.for_config(7, fp8))
+    this = energy_report(_counters(events), EnergyTable.for_config(node, fp8))
+    assert this.onchip_dynamic_uj >= smaller.onchip_dynamic_uj - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# area model
+# ---------------------------------------------------------------------------
+@st.composite
+def flexible_configs(draw):
+    num_ms = draw(st.sampled_from([16, 64, 256]))
+    bandwidth = draw(st.sampled_from([4, 16]))
+    sparse = draw(st.booleans())
+    if sparse:
+        return HardwareConfig(
+            num_ms=num_ms, dn_bandwidth=bandwidth, rn_bandwidth=bandwidth,
+            controller=ControllerKind.SPARSE,
+            distribution=DistributionKind.BENES,
+            multiplier=MultiplierKind.DISABLED,
+            reduction=ReductionKind.FAN,
+        )
+    reduction = draw(st.sampled_from([ReductionKind.ART, ReductionKind.FAN,
+                                      ReductionKind.RT]))
+    return HardwareConfig(
+        num_ms=num_ms, dn_bandwidth=bandwidth, rn_bandwidth=bandwidth,
+        distribution=draw(st.sampled_from([DistributionKind.TREE,
+                                           DistributionKind.BENES])),
+        reduction=reduction,
+    )
+
+
+@given(flexible_configs())
+@settings(max_examples=60, deadline=None)
+def test_area_positive_and_consistent(config):
+    breakdown = area_report(config)
+    assert breakdown.total_um2 > 0
+    assert abs(sum(breakdown.by_group_um2.values()) - breakdown.total_um2) < 1e-6
+
+
+@given(flexible_configs())
+@settings(max_examples=40, deadline=None)
+def test_area_monotone_in_fabric_size(config):
+    if config.num_ms >= 256:
+        return
+    bigger = config.with_updates(num_ms=config.num_ms * 4)
+    assert area_report(bigger).total_um2 > area_report(config).total_um2
+
+
+# ---------------------------------------------------------------------------
+# configuration file round-trip
+# ---------------------------------------------------------------------------
+@given(flexible_configs())
+@settings(max_examples=40, deadline=None)
+def test_cfg_round_trip(tmp_path_factory, config):
+    from repro.config.hardware import save_config
+
+    path = tmp_path_factory.mktemp("cfg") / "hw.cfg"
+    save_config(config, path)
+    assert parse_config(path.read_text()) == config

@@ -1,0 +1,103 @@
+"""Property tests: scheduling round builders preserve the work exactly."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.sparse_controller import natural_order_rounds, pack_rows_in_order
+from repro.opts.scheduling import largest_filter_first_rounds, random_rounds
+
+row_sizes = st.lists(st.integers(0, 80), min_size=1, max_size=40).map(np.array)
+capacities = st.integers(4, 64)
+
+
+def _check_invariants(rounds, sizes, capacity):
+    covered = {}
+    for chunks in rounds:
+        used = sum(chunk.length for chunk in chunks)
+        assert 0 < used <= capacity
+        for chunk in chunks:
+            assert chunk.length >= 1
+            covered.setdefault(chunk.row, []).append(chunk)
+    for row, nnz in enumerate(int(v) for v in sizes):
+        chunks = covered.get(row, [])
+        assert sum(c.length for c in chunks) == nnz
+        if chunks:
+            finals = [c for c in chunks if c.is_final]
+            assert len(finals) == 1
+            # chunk offsets partition [0, nnz)
+            spans = sorted((c.start, c.start + c.length) for c in chunks)
+            assert spans[0][0] == 0 and spans[-1][1] == nnz
+            for (_, end), (start, _) in zip(spans, spans[1:]):
+                assert end == start
+
+
+@given(row_sizes, capacities)
+@settings(max_examples=80, deadline=None)
+def test_natural_order_invariants(sizes, capacity):
+    _check_invariants(natural_order_rounds(sizes, capacity), sizes, capacity)
+
+
+@given(row_sizes, capacities, st.integers(0, 5))
+@settings(max_examples=80, deadline=None)
+def test_random_order_invariants(sizes, capacity, seed):
+    _check_invariants(random_rounds(sizes, capacity, seed), sizes, capacity)
+
+
+@given(row_sizes, capacities)
+@settings(max_examples=80, deadline=None)
+def test_lff_invariants(sizes, capacity):
+    _check_invariants(largest_filter_first_rounds(sizes, capacity), sizes, capacity)
+
+
+@given(row_sizes, capacities)
+@settings(max_examples=60, deadline=None)
+def test_lff_close_to_first_fit_decreasing_bound(sizes, capacity):
+    """LFF is first-fit decreasing: within the classic 11/9 OPT + 1 bound
+    (for fabric-fitting rows; oversized rows add their mandatory folds)."""
+    fitting = np.minimum(sizes, capacity)
+    extra_fold_rounds = sum(
+        max(0, (int(v) - 1) // capacity) for v in sizes
+    )
+    total = int(fitting.sum())
+    if total == 0:
+        return
+    ideal = -(-total // capacity)
+    lff = largest_filter_first_rounds(sizes, capacity)
+    assert len(lff) <= (11 * ideal) // 9 + 1 + extra_fold_rounds
+
+
+@given(row_sizes.filter(lambda s: len(s) > 0), capacities)
+@settings(max_examples=60, deadline=None)
+def test_lff_not_worse_than_natural_order_for_fitting_rows(sizes, capacity):
+    """Without folding, first-fit decreasing needs at most one round more
+    than any first-fit order (and usually fewer)."""
+    sizes = np.minimum(sizes, capacity)
+    lff = largest_filter_first_rounds(sizes, capacity)
+    ns = natural_order_rounds(sizes, capacity)
+    assert len(lff) <= len(ns) + 1
+
+
+@given(row_sizes, capacities)
+@settings(max_examples=60, deadline=None)
+def test_round_count_at_least_ideal(sizes, capacity):
+    """No schedule beats the perfect-packing lower bound."""
+    total = int(sizes.sum())
+    if total == 0:
+        return
+    ideal = -(-total // capacity)  # ceil
+    for rounds in (
+        natural_order_rounds(sizes, capacity),
+        largest_filter_first_rounds(sizes, capacity),
+    ):
+        assert len(rounds) >= ideal
+
+
+@given(row_sizes, capacities)
+@settings(max_examples=40, deadline=None)
+def test_identity_order_matches_natural(sizes, capacity):
+    explicit = pack_rows_in_order(sizes, capacity, order=range(len(sizes)))
+    default = natural_order_rounds(sizes, capacity)
+    assert [[(c.row, c.start, c.length) for c in r] for r in explicit] == [
+        [(c.row, c.start, c.length) for c in r] for r in default
+    ]

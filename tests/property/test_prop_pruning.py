@@ -1,0 +1,52 @@
+"""Property tests: magnitude pruning invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensors.pruning import magnitude_prune, sparsity_of
+
+
+@st.composite
+def weight_tensors(draw):
+    size = draw(st.integers(1, 400))
+    seed = draw(st.integers(0, 2**16))
+    return np.random.default_rng(seed).standard_normal(size).astype(np.float32)
+
+
+sparsities = st.floats(0.0, 0.95, allow_nan=False)
+
+
+@given(weight_tensors(), sparsities)
+@settings(max_examples=80, deadline=None)
+def test_achieves_at_least_target(weights, sparsity):
+    pruned = magnitude_prune(weights, sparsity)
+    expected_zeros = int(round(weights.size * sparsity))
+    assert np.count_nonzero(pruned == 0) >= expected_zeros
+
+
+@given(weight_tensors(), sparsities)
+@settings(max_examples=80, deadline=None)
+def test_survivors_unchanged(weights, sparsity):
+    pruned = magnitude_prune(weights, sparsity)
+    mask = pruned != 0
+    assert np.array_equal(pruned[mask], weights[mask])
+
+
+@given(weight_tensors(), sparsities)
+@settings(max_examples=80, deadline=None)
+def test_survivors_dominate_pruned(weights, sparsity):
+    """No kept weight has smaller magnitude than any pruned weight."""
+    pruned = magnitude_prune(weights, sparsity)
+    kept = np.abs(pruned[pruned != 0])
+    removed = np.abs(weights[pruned == 0])
+    if kept.size and removed.size:
+        assert kept.min() >= removed.max()
+
+
+@given(weight_tensors())
+@settings(max_examples=40, deadline=None)
+def test_monotone_in_sparsity(weights):
+    low = sparsity_of(magnitude_prune(weights, 0.3))
+    high = sparsity_of(magnitude_prune(weights, 0.8))
+    assert high >= low

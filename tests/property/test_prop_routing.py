@@ -1,0 +1,78 @@
+"""Property tests: Benes routing and ART allocation hold for arbitrary
+inputs — the fabrics' non-blocking claims as universal statements."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.art_allocation import allocate_virtual_trees, reduce_with_allocation
+from repro.noc.benes_routing import apply_routing, route_permutation
+
+
+@st.composite
+def permutations(draw):
+    size = draw(st.sampled_from([4, 8, 16, 32]))
+    seed = draw(st.integers(0, 2**16))
+    perm = list(range(size))
+    np.random.default_rng(seed).shuffle(perm)
+    return [int(p) for p in perm]
+
+
+@given(permutations())
+@settings(max_examples=100, deadline=None)
+def test_any_permutation_routes(perm):
+    routing = route_permutation(perm)
+    outputs = apply_routing(routing, list(range(len(perm))))
+    for source, destination in enumerate(perm):
+        assert outputs[destination] == source
+
+
+@given(permutations())
+@settings(max_examples=60, deadline=None)
+def test_switch_count_is_topology_constant(perm):
+    import math
+
+    n = len(perm)
+    stages = 2 * int(math.log2(n)) - 1
+    assert route_permutation(perm).num_switch_settings == (n // 2) * stages
+
+
+@st.composite
+def partitions(draw):
+    num_leaves = draw(st.sampled_from([16, 64, 256]))
+    sizes = []
+    total = 0
+    while True:
+        size = draw(st.integers(1, max(1, num_leaves // 4)))
+        if total + size > num_leaves:
+            break
+        sizes.append(size)
+        total += size
+        if draw(st.booleans()) and sizes:
+            break
+    if not sizes:
+        sizes = [1]
+    return sizes, num_leaves
+
+
+@given(partitions())
+@settings(max_examples=100, deadline=None)
+def test_any_partition_embeds_non_blocking(case):
+    sizes, num_leaves = case
+    # allocate_virtual_trees raises if any physical adder is shared or a
+    # cluster exceeds the block bound — constructing it IS the assertion
+    trees = allocate_virtual_trees(sizes, num_leaves)
+    assert len(trees) == len(sizes)
+
+
+@given(partitions(), st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_embedded_reduction_is_exact(case, seed):
+    sizes, num_leaves = case
+    trees = allocate_virtual_trees(sizes, num_leaves)
+    values = np.random.default_rng(seed).standard_normal(num_leaves)
+    psums = reduce_with_allocation(trees, values)
+    cursor = 0
+    for size, psum in zip(sizes, psums):
+        assert abs(psum - values[cursor : cursor + size].sum()) < 1e-6
+        cursor += size

@@ -1,0 +1,59 @@
+"""Property tests: sparse format round-trips and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensors.sparse import from_dense, to_dense
+
+
+def sparse_matrices(max_rows=8, max_cols=12):
+    shapes = st.tuples(
+        st.integers(1, max_rows), st.integers(1, max_cols)
+    )
+    return shapes.flatmap(
+        lambda shape: arrays(
+            np.float32,
+            shape,
+            elements=st.sampled_from([0.0, 0.0, 0.0, 1.5, -2.25, 3.0]),
+        )
+    )
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_bitmap_round_trip(dense):
+    assert np.array_equal(to_dense(from_dense(dense, "bitmap")), dense)
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csr_round_trip(dense):
+    assert np.array_equal(to_dense(from_dense(dense, "csr")), dense)
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_formats_agree_on_nnz_and_rows(dense):
+    bitmap = from_dense(dense, "bitmap")
+    csr = from_dense(dense, "csr")
+    assert bitmap.nnz == csr.nnz == np.count_nonzero(dense)
+    assert np.array_equal(bitmap.row_nnz(), csr.row_nnz())
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_row_nnz_sums_to_nnz(dense):
+    csr = from_dense(dense, "csr")
+    assert csr.row_nnz().sum() == csr.nnz
+
+
+@given(sparse_matrices())
+@settings(max_examples=40, deadline=None)
+def test_csr_rows_sorted_and_valid(dense):
+    csr = from_dense(dense, "csr")
+    for i in range(dense.shape[0]):
+        cols, vals = csr.row(i)
+        assert np.all(np.diff(cols) > 0)  # strictly increasing columns
+        assert np.all(vals != 0)

@@ -1,0 +1,58 @@
+"""Property tests: auto-generated tiles are always valid mappings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.layer import ConvLayerSpec
+from repro.config.tile import generate_conv_tile, generate_gemm_tile
+from repro.config.layer import GemmSpec
+
+
+@st.composite
+def conv_layers(draw):
+    r = draw(st.integers(1, 5))
+    s = draw(st.integers(1, 5))
+    c = draw(st.integers(1, 32))
+    k = draw(st.integers(1, 32))
+    g = draw(st.sampled_from([1, 1, 1, 2, 4]))
+    stride = draw(st.integers(1, 2))
+    x = r + stride * draw(st.integers(0, 10))
+    y = s + stride * draw(st.integers(0, 10))
+    return ConvLayerSpec(r=r, s=s, c=c, k=k, g=g, x=x, y=y, stride=stride)
+
+
+fabric_sizes = st.sampled_from([8, 16, 32, 64, 128, 256])
+
+
+@given(conv_layers(), fabric_sizes)
+@settings(max_examples=100, deadline=None)
+def test_generated_tile_is_valid(layer, num_ms):
+    tile = generate_conv_tile(layer, num_ms)
+    tile.validate_for(layer, num_ms)  # raises on violation
+    assert 1 <= tile.multipliers_used <= num_ms
+
+
+@given(conv_layers(), fabric_sizes, st.sampled_from([2, 8, 32]))
+@settings(max_examples=60, deadline=None)
+def test_bandwidth_aware_tiles_still_valid(layer, num_ms, bandwidth):
+    tile = generate_conv_tile(layer, num_ms, bandwidth=min(bandwidth, num_ms))
+    tile.validate_for(layer, num_ms)
+
+
+@given(conv_layers(), fabric_sizes)
+@settings(max_examples=60, deadline=None)
+def test_tile_covers_all_work(layer, num_ms):
+    """iterations x folds x cluster work >= total MACs (with padding)."""
+    tile = generate_conv_tile(layer, num_ms)
+    steps = tile.iterations_for(layer) * tile.folds_for(layer)
+    assert steps * tile.cluster_size * tile.num_clusters >= layer.num_macs
+
+
+@given(
+    st.integers(1, 256), st.integers(1, 64), st.integers(1, 512), fabric_sizes
+)
+@settings(max_examples=80, deadline=None)
+def test_gemm_tiles_valid(m, n, k, num_ms):
+    tile = generate_gemm_tile(GemmSpec(m=m, n=n, k=k), num_ms)
+    assert 1 <= tile.multipliers_used <= num_ms
+    assert tile.cluster_size <= k or tile.cluster_size == 1

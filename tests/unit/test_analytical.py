@@ -1,0 +1,110 @@
+"""Analytical models: the Fig. 1 comparison baselines."""
+
+import numpy as np
+import pytest
+
+from repro.analytical import (
+    maeri_analytical_cycles,
+    scalesim_conv_cycles,
+    scalesim_gemm_cycles,
+    sigma_analytical_cycles,
+)
+from repro.analytical.sigma_model import (
+    block_diagonal_sparse_matrix,
+    expected_row_nnz,
+    uniform_sparse_matrix,
+)
+from repro.config import ConvLayerSpec, GemmSpec, TileConfig, maeri_like, tpu_like
+from repro.engine.accelerator import Accelerator
+from repro.errors import ConfigurationError
+
+
+class TestScaleSim:
+    def test_single_tile_formula(self):
+        gemm = GemmSpec(m=16, n=16, k=32)
+        assert scalesim_gemm_cycles(gemm, 16) == 32 + 16 + 16 - 2
+
+    def test_multi_tile(self):
+        gemm = GemmSpec(m=32, n=32, k=16)
+        assert scalesim_gemm_cycles(gemm, 16) == 4 * (16 + 16 + 16 - 2)
+
+    def test_partial_edge_tiles(self):
+        gemm = GemmSpec(m=20, n=16, k=8)
+        # 16-row tile + 4-row tile
+        assert scalesim_gemm_cycles(gemm, 16) == (8 + 30) + (8 + 4 + 16 - 2)
+
+    def test_conv_lowered_per_group(self):
+        layer = ConvLayerSpec(r=3, s=3, c=1, k=1, g=4, x=6, y=6)
+        assert scalesim_conv_cycles(layer, 16) == 4 * scalesim_gemm_cycles(
+            layer.to_gemm(), 16
+        )
+
+    def test_close_to_cycle_level_engine(self, rng):
+        """Fig. 1a: analytical ~ cycle-level for rigid systolic arrays."""
+        acc = Accelerator(tpu_like(256))
+        gemm = GemmSpec(m=64, n=64, k=128)
+        a = rng.standard_normal((64, 128)).astype(np.float32)
+        b = rng.standard_normal((128, 64)).astype(np.float32)
+        _, result = acc.systolic.run_gemm(a, b)
+        am = scalesim_gemm_cycles(gemm, 16)
+        assert abs(result.cycles - am) / am < 0.05
+
+    def test_bad_array_dim(self):
+        with pytest.raises(ConfigurationError):
+            scalesim_gemm_cycles(GemmSpec(m=4, n=4, k=4), 0)
+
+
+class TestMaeriModel:
+    LAYER = ConvLayerSpec(r=3, s=3, c=6, k=6, x=7, y=7)
+    TILE = TileConfig(t_r=3, t_s=3, t_c=1, t_x=3)
+
+    def test_underestimates_under_bandwidth_pressure(self):
+        """Fig. 1b: the analytical model is a lower bound that diverges."""
+        ratios = []
+        for bw in (32, 8, 2):
+            acc = Accelerator(maeri_like(32, bw))
+            st = acc.dense_controller.run_conv(self.LAYER, self.TILE).cycles
+            am = maeri_analytical_cycles(self.LAYER, self.TILE, 32, bw)
+            ratios.append(st / am)
+        assert all(r >= 0.95 for r in ratios)
+        assert ratios[-1] > ratios[0]  # the gap grows as bandwidth shrinks
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            maeri_analytical_cycles(self.LAYER, self.TILE, 32, 0)
+
+
+class TestSigmaModel:
+    def test_throughput_model(self):
+        # nnz*N/num_ms compute term plus small load/drain
+        cycles = sigma_analytical_cycles(nnz=256, n_cols=64, num_ms=128,
+                                         bandwidth=128)
+        assert cycles >= 256 * 64 // 128
+        assert cycles < 256 * 64 // 128 + 20
+
+    def test_zero_nnz(self):
+        assert sigma_analytical_cycles(0, 10, 128, 128) == 1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            sigma_analytical_cycles(10, 0, 128, 128)
+        with pytest.raises(ConfigurationError):
+            sigma_analytical_cycles(-1, 10, 128, 128)
+
+    def test_uniform_sparse_matrix_exact_sparsity(self):
+        matrix = uniform_sparse_matrix(20, 50, 0.8, seed=1)
+        assert np.count_nonzero(matrix) == 200
+
+    def test_uniform_sparse_rejects_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            uniform_sparse_matrix(4, 4, 1.0)
+
+    def test_block_diagonal_structure(self):
+        matrix = block_diagonal_sparse_matrix(3, 2, 4, 0.0, seed=2)
+        assert matrix.shape == (6, 12)
+        # off-diagonal blocks are zero
+        assert np.count_nonzero(matrix[0:2, 4:]) == 0
+        assert np.count_nonzero(matrix[2:4, 0:4]) == 0
+
+    def test_expected_row_nnz(self):
+        assert expected_row_nnz(100, 0.9) == pytest.approx(10.0)

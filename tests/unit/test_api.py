@@ -1,0 +1,113 @@
+"""STONNE API (Table III) state machine."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ConfigureCONV,
+    ConfigureData,
+    ConfigureDMM,
+    ConfigureLinear,
+    ConfigureMaxPool,
+    ConfigureSpMM,
+    CreateInstance,
+    RunOperation,
+    StonneInstance,
+)
+from repro.config import maeri_like, save_config, sigma_like
+from repro.errors import ApiError
+
+
+@pytest.fixture
+def instance():
+    return CreateInstance(maeri_like(32, 8))
+
+
+def test_create_from_config_object(instance):
+    assert isinstance(instance, StonneInstance)
+
+
+def test_create_from_cfg_file(tmp_path):
+    path = tmp_path / "hw.cfg"
+    save_config(maeri_like(32, 8), path)
+    instance = CreateInstance(path)
+    assert instance.accelerator.config.num_ms == 32
+
+
+def test_conv_flow(instance, rng):
+    w = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+    x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+    ConfigureCONV(instance)
+    ConfigureData(instance, weights=w, inputs=x)
+    out = RunOperation(instance)
+    assert out.shape == (1, 4, 4, 4)
+
+
+def test_dmm_flow(instance, rng):
+    a = rng.standard_normal((4, 8)).astype(np.float32)
+    b = rng.standard_normal((8, 4)).astype(np.float32)
+    ConfigureDMM(instance)
+    ConfigureData(instance, weights=a, inputs=b)
+    assert np.allclose(RunOperation(instance), a @ b, atol=1e-4)
+
+
+def test_linear_flow(instance, rng):
+    a = rng.standard_normal((4, 8)).astype(np.float32)
+    b = rng.standard_normal((8, 2)).astype(np.float32)
+    ConfigureLinear(instance)
+    ConfigureData(instance, weights=a, inputs=b)
+    assert np.allclose(RunOperation(instance), a @ b, atol=1e-4)
+
+
+def test_spmm_flow(rng):
+    instance = CreateInstance(sigma_like(32, 16))
+    a = rng.standard_normal((4, 8)).astype(np.float32)
+    a[np.abs(a) < 0.7] = 0
+    b = rng.standard_normal((8, 4)).astype(np.float32)
+    ConfigureSpMM(instance)
+    ConfigureData(instance, weights=a, inputs=b)
+    assert np.allclose(RunOperation(instance), a @ b, atol=1e-4)
+
+
+def test_maxpool_flow(instance, rng):
+    x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+    ConfigureMaxPool(instance, 2)
+    ConfigureData(instance, inputs=x)
+    out = RunOperation(instance)
+    assert out.shape == (1, 2, 4, 4)
+
+
+def test_run_without_configure_rejected(instance):
+    with pytest.raises(ApiError):
+        RunOperation(instance)
+
+
+def test_data_without_configure_rejected(instance, rng):
+    with pytest.raises(ApiError):
+        ConfigureData(instance, weights=rng.standard_normal((2, 2)))
+
+
+def test_run_without_data_rejected(instance):
+    ConfigureDMM(instance)
+    with pytest.raises(ApiError):
+        RunOperation(instance)
+
+
+def test_operation_consumed_after_run(instance, rng):
+    a = rng.standard_normal((4, 8)).astype(np.float32)
+    b = rng.standard_normal((8, 4)).astype(np.float32)
+    ConfigureDMM(instance)
+    ConfigureData(instance, weights=a, inputs=b)
+    RunOperation(instance)
+    with pytest.raises(ApiError):
+        RunOperation(instance)
+
+
+def test_report_accumulates_operations(instance, rng):
+    a = rng.standard_normal((4, 8)).astype(np.float32)
+    b = rng.standard_normal((8, 4)).astype(np.float32)
+    for _ in range(2):
+        ConfigureDMM(instance)
+        ConfigureData(instance, weights=a, inputs=b)
+        RunOperation(instance)
+    assert len(instance.report.layers) == 2

@@ -1,0 +1,69 @@
+"""Table-based area model: the Fig. 5c structure."""
+
+import pytest
+
+from repro.config import maeri_like, sigma_like, tpu_like
+from repro.engine.area import area_report
+
+
+@pytest.fixture
+def areas():
+    return {
+        "tpu": area_report(tpu_like(256)),
+        "maeri": area_report(maeri_like(256, 128)),
+        "sigma": area_report(sigma_like(256, 128)),
+    }
+
+
+def test_gb_sram_dominates_every_design(areas):
+    # the paper reports 70-82 % GB share across the three architectures
+    for name, breakdown in areas.items():
+        assert 0.6 <= breakdown.share_of("GB") <= 0.9, name
+
+
+def test_tpu_has_highest_gb_share(areas):
+    assert areas["tpu"].share_of("GB") > areas["sigma"].share_of("GB")
+    assert areas["sigma"].share_of("GB") > areas["maeri"].share_of("GB")
+
+
+def test_tpu_is_smallest(areas):
+    assert areas["tpu"].total_um2 < areas["sigma"].total_um2
+    assert areas["tpu"].total_um2 < areas["maeri"].total_um2
+
+
+def test_sigma_smaller_than_maeri(areas):
+    # FAN's 2:1 adders undercut ART's 3:1 switches
+    assert areas["sigma"].total_um2 < areas["maeri"].total_um2
+
+
+def test_groups_present(areas):
+    for breakdown in areas.values():
+        assert set(breakdown.by_group_um2) == {"GB", "MN", "DN", "RN", "CTRL"}
+
+
+def test_total_consistent(areas):
+    for breakdown in areas.values():
+        assert breakdown.total_um2 == pytest.approx(
+            sum(breakdown.by_group_um2.values())
+        )
+        assert breakdown.total_mm2 == pytest.approx(breakdown.total_um2 / 1e6)
+
+
+def test_gb_area_scales_with_size():
+    small = area_report(maeri_like(256, 128, gb_size_kb=54))
+    large = area_report(maeri_like(256, 128, gb_size_kb=216))
+    assert large.by_group_um2["GB"] == pytest.approx(
+        4 * small.by_group_um2["GB"]
+    )
+
+
+def test_fabric_area_scales_with_ms_count():
+    small = area_report(maeri_like(64, 32))
+    large = area_report(maeri_like(256, 128))
+    assert large.by_group_um2["MN"] > 3 * small.by_group_um2["MN"]
+
+
+def test_technology_scaling():
+    at28 = area_report(maeri_like(256, 128))
+    at7 = area_report(maeri_like(256, 128, technology_nm=7))
+    assert at7.total_um2 < at28.total_um2

@@ -1,0 +1,86 @@
+"""ART virtual-tree allocation: the non-blocking embedding claim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MappingError
+from repro.noc.art_allocation import (
+    allocate_virtual_trees,
+    reduce_with_allocation,
+)
+
+
+def test_aligned_cluster_is_one_block():
+    trees = allocate_virtual_trees([8], num_leaves=8)
+    assert trees[0].blocks == ((0, 8),)
+    assert trees[0].horizontal_merges == 0
+    assert trees[0].latency == 3
+
+
+def test_misaligned_cluster_decomposes():
+    # a 5-wide cluster starting at leaf 0: blocks (0,4) + (4,1)
+    trees = allocate_virtual_trees([5], num_leaves=8)
+    assert trees[0].blocks == ((0, 4), (4, 1))
+    assert trees[0].horizontal_merges == 1
+    assert trees[0].latency == 2 + 1
+
+
+def test_paper_fig8_style_partition():
+    # arbitrary simultaneous cluster sizes over one substrate
+    trees = allocate_virtual_trees([4, 2, 4, 2], num_leaves=16)
+    assert [t.leaf_start for t in trees] == [0, 4, 6, 10]
+    # no physical adder shared between clusters (checked internally too)
+    seen = set()
+    for tree in trees:
+        assert not (tree.adder_nodes & seen)
+        seen |= tree.adder_nodes
+
+
+def test_functional_reduction_matches_plain_sums(rng):
+    sizes = [5, 3, 7, 1]
+    trees = allocate_virtual_trees(sizes, num_leaves=16)
+    values = rng.standard_normal(16)
+    psums = reduce_with_allocation(trees, values)
+    cursor = 0
+    for size, psum in zip(sizes, psums):
+        assert psum == pytest.approx(values[cursor : cursor + size].sum())
+        cursor += size
+
+
+def test_block_count_bounded(rng):
+    for seed in range(20):
+        local = np.random.default_rng(seed)
+        sizes = []
+        total = 0
+        while True:
+            size = int(local.integers(1, 40))
+            if total + size > 256:
+                break
+            sizes.append(size)
+            total += size
+        trees = allocate_virtual_trees(sizes, num_leaves=256)
+        for tree in trees:
+            assert len(tree.blocks) <= 2 * 8
+
+
+def test_latency_at_least_log2():
+    import math
+
+    trees = allocate_virtual_trees([3, 9, 17], num_leaves=64)
+    for tree in trees:
+        assert tree.latency >= math.ceil(math.log2(tree.leaf_count))
+
+
+def test_capacity_enforced():
+    with pytest.raises(MappingError):
+        allocate_virtual_trees([9], num_leaves=8)
+
+
+def test_substrate_must_be_power_of_two():
+    with pytest.raises(ConfigurationError):
+        allocate_virtual_trees([3], num_leaves=12)
+
+
+def test_positive_sizes_required():
+    with pytest.raises(MappingError):
+        allocate_virtual_trees([0, 4], num_leaves=8)

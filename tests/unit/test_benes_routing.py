@@ -1,0 +1,58 @@
+"""Benes routing: the non-blocking property, verified by construction."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.benes_routing import apply_routing, route_permutation
+
+
+def _expected(perm):
+    out = [None] * len(perm)
+    for i, p in enumerate(perm):
+        out[p] = i
+    return out
+
+
+def test_every_4_port_permutation_routes():
+    for perm in itertools.permutations(range(4)):
+        routing = route_permutation(list(perm))
+        assert apply_routing(routing, list(range(4))) == _expected(perm)
+
+
+def test_identity_and_reversal():
+    identity = list(range(16))
+    assert apply_routing(route_permutation(identity), identity) == identity
+    reversal = identity[::-1]
+    assert apply_routing(route_permutation(reversal), identity) == _expected(reversal)
+
+
+def test_switch_count_matches_topology():
+    # a 2^k Benes has N/2 switches per stage over 2k-1 stages
+    routing = route_permutation(list(range(16)))
+    assert routing.num_switch_settings == 16 // 2 * (2 * 4 - 1)
+
+
+def test_base_case():
+    straight = route_permutation([0, 1])
+    crossed = route_permutation([1, 0])
+    assert apply_routing(straight, ["a", "b"]) == ["a", "b"]
+    assert apply_routing(crossed, ["a", "b"]) == ["b", "a"]
+    assert straight.num_switch_settings == 1
+
+
+def test_rejects_non_power_of_two():
+    with pytest.raises(ConfigurationError):
+        route_permutation([0, 2, 1])
+
+
+def test_rejects_non_permutation():
+    with pytest.raises(ConfigurationError):
+        route_permutation([0, 0, 1, 1])
+
+
+def test_apply_validates_port_count():
+    routing = route_permutation(list(range(4)))
+    with pytest.raises(ConfigurationError):
+        apply_routing(routing, [1, 2])

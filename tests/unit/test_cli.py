@@ -1,0 +1,148 @@
+"""The `stonne` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.ui.cli import build_parser, main
+
+
+def test_conv_subcommand(capsys):
+    assert main([
+        "conv", "-R", "3", "-S", "3", "-C", "4", "-K", "4", "-X", "6", "-Y", "6",
+        "--arch", "maeri", "--num-ms", "32", "--bw", "8",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "total cycles" in out
+
+
+def test_gemm_subcommand_json(capsys):
+    assert main([
+        "gemm", "-M", "8", "-N", "8", "-K", "8",
+        "--arch", "tpu", "--num-ms", "16", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total_macs"] == 512
+
+
+def test_spmm_defaults_to_sigma(capsys):
+    assert main([
+        "spmm", "-M", "16", "-N", "8", "-K", "16",
+        "--num-ms", "32", "--bw", "16", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["accelerator"] == "sigma-like"
+
+
+def test_gemm_with_sparsity(capsys):
+    assert main([
+        "gemm", "-M", "16", "-N", "8", "-K", "16", "--sparsity", "0.5",
+        "--arch", "sigma", "--num-ms", "32", "--bw", "16",
+    ]) == 0
+
+
+def test_tile_argument(capsys):
+    assert main([
+        "conv", "-R", "3", "-S", "3", "-C", "4", "-K", "4", "-X", "6", "-Y", "6",
+        "--arch", "maeri", "--num-ms", "64", "--bw", "16",
+        "--tile", "3,3,1,1,1,1,2,2",
+    ]) == 0
+
+
+def test_bad_tile_reports_error(capsys):
+    assert main([
+        "conv", "--arch", "maeri", "--num-ms", "32", "--bw", "8",
+        "--tile", "3,3,1",
+    ]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_mkconfig_round_trip(tmp_path, capsys):
+    path = tmp_path / "hw.cfg"
+    assert main(["mkconfig", str(path), "--arch", "sigma", "--num-ms", "64",
+                 "--bw", "32"]) == 0
+    assert path.exists()
+    assert main([
+        "gemm", "-M", "8", "-N", "8", "-K", "8", "--config", str(path),
+    ]) == 0
+
+
+def test_model_subcommand(capsys):
+    assert main([
+        "model", "squeezenet", "--arch", "maeri", "--num-ms", "64", "--bw", "32",
+    ]) == 0
+    assert "total cycles" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig42"])
+
+
+def test_experiment_tablev(capsys):
+    assert main(["experiment", "tablev"]) == 0
+    out = capsys.readouterr().out
+    assert "MAERI-1" in out and "TPU-4" in out
+
+
+def test_energy_subcommand_prices_counter_file(tmp_path, capsys, rng):
+    import numpy as np
+
+    from repro.config import maeri_like
+    from repro.engine.accelerator import Accelerator
+
+    acc = Accelerator(maeri_like(32, 8))
+    acc.run_gemm(
+        rng.standard_normal((8, 16)).astype(np.float32),
+        rng.standard_normal((16, 4)).astype(np.float32),
+    )
+    path = tmp_path / "counters.txt"
+    acc.report.to_counter_file(path)
+    capsys.readouterr()
+
+    assert main(["energy", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "RN" in out and "total" in out
+    # the CLI result matches the report's own on-chip dynamic pricing
+    priced = float(
+        [line for line in out.splitlines() if line.startswith("RN")][0]
+        .split(":")[1].replace("uJ", "")
+    )
+    expected = acc.report.total_energy().by_group_uj["RN"]
+    assert priced == pytest.approx(expected, rel=1e-3)
+
+
+def test_energy_subcommand_missing_file(capsys):
+    assert main(["energy", "/nonexistent/counters.txt"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_validate_subcommand(capsys):
+    assert main(["validate", "--model", "squeezenet"]) == 0
+    out = capsys.readouterr().out
+    assert "average error vs RTL" in out
+    assert out.count("MATCH") == 3 and "MISMATCH" not in out
+
+
+def test_sweep_subcommand(capsys):
+    assert main([
+        "sweep", "-C", "8", "-K", "8", "-X", "10", "-Y", "10",
+        "--architectures", "tpu,maeri", "--sizes", "64", "--pareto",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "edp" in out and "Pareto front" in out
+
+
+def test_sweep_rejects_unknown_template(capsys):
+    assert main([
+        "sweep", "--architectures", "npu9000", "--sizes", "64",
+    ]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_energy_subcommand_other_dtype(tmp_path, capsys):
+    path = tmp_path / "counters.txt"
+    path.write_text("mn.multiplications = 1000\n")
+    assert main(["energy", str(path), "--dtype", "fp16",
+                 "--technology-nm", "45"]) == 0
+    assert "45 nm" in capsys.readouterr().out

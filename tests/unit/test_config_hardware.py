@@ -1,0 +1,157 @@
+"""HardwareConfig validation and .cfg file round-trips."""
+
+import pytest
+
+from repro.config.hardware import (
+    ControllerKind,
+    Dataflow,
+    DataType,
+    DistributionKind,
+    DramConfig,
+    HardwareConfig,
+    MultiplierKind,
+    ReductionKind,
+    parse_config,
+    save_config,
+    load_config,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEnums:
+    def test_multicast_support(self):
+        assert DistributionKind.TREE.supports_multicast
+        assert DistributionKind.BENES.supports_multicast
+        assert not DistributionKind.POINT_TO_POINT.supports_multicast
+
+    def test_forwarding_links(self):
+        assert MultiplierKind.LINEAR.has_forwarding_links
+        assert not MultiplierKind.DISABLED.has_forwarding_links
+
+    def test_variable_clusters(self):
+        assert ReductionKind.ART.supports_variable_clusters
+        assert ReductionKind.FAN.supports_variable_clusters
+        assert not ReductionKind.RT.supports_variable_clusters
+        assert not ReductionKind.LINEAR.supports_variable_clusters
+
+    def test_adder_fan_in(self):
+        assert ReductionKind.ART.adder_inputs == 3
+        assert ReductionKind.FAN.adder_inputs == 2
+
+    def test_dtype_width(self):
+        assert DataType.FP8.bytes_per_element == 1
+        assert DataType.FP16.bytes_per_element == 2
+        assert DataType.FP32.bytes_per_element == 4
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        config = HardwareConfig()
+        assert config.num_ms == 256
+
+    def test_rejects_non_power_of_two_ms(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(num_ms=100)
+
+    def test_rejects_bandwidth_above_ms(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(num_ms=64, dn_bandwidth=128)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(num_ms=64, dn_bandwidth=0, rn_bandwidth=16)
+
+    def test_rejects_sparse_with_point_to_point(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(
+                controller=ControllerKind.SPARSE,
+                distribution=DistributionKind.POINT_TO_POINT,
+                reduction=ReductionKind.FAN,
+            )
+
+    def test_rejects_sparse_with_fixed_reduction(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(
+                controller=ControllerKind.SPARSE,
+                distribution=DistributionKind.BENES,
+                reduction=ReductionKind.LINEAR,
+            )
+
+    def test_rejects_systolic_with_flexible_rn(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(
+                distribution=DistributionKind.POINT_TO_POINT,
+                reduction=ReductionKind.FAN,
+            )
+
+    def test_rejects_unknown_technology(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(technology_nm=10)
+
+    def test_systolic_dim(self):
+        config = HardwareConfig(
+            num_ms=256,
+            distribution=DistributionKind.POINT_TO_POINT,
+            reduction=ReductionKind.LINEAR,
+        )
+        assert config.systolic_dim == 16
+        assert config.is_systolic
+
+    def test_gb_capacity(self):
+        config = HardwareConfig(gb_size_kb=108, dtype=DataType.FP8)
+        assert config.gb_capacity_elements == 108 * 1024
+
+    def test_with_updates_makes_copy(self):
+        config = HardwareConfig()
+        updated = config.with_updates(dn_bandwidth=32)
+        assert updated.dn_bandwidth == 32
+        assert config.dn_bandwidth == 128
+
+
+class TestDramConfig:
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            DramConfig(bandwidth_gbps=-1)
+
+    def test_rejects_row_hit_slower_than_miss(self):
+        with pytest.raises(ConfigurationError):
+            DramConfig(access_latency_cycles=10, row_hit_latency_cycles=50)
+
+
+class TestConfigFiles:
+    def test_round_trip(self, tmp_path):
+        original = HardwareConfig(
+            num_ms=64,
+            dn_bandwidth=16,
+            rn_bandwidth=16,
+            distribution=DistributionKind.BENES,
+            multiplier=MultiplierKind.DISABLED,
+            reduction=ReductionKind.FAN,
+            controller=ControllerKind.SPARSE,
+            dataflow=Dataflow.WEIGHT_STATIONARY,
+            name="round-trip",
+        )
+        path = tmp_path / "hw.cfg"
+        save_config(original, path)
+        assert load_config(path) == original
+
+    def test_partial_file_uses_defaults(self):
+        config = parse_config("[MSNetwork]\nms_size = 64\n")
+        assert config.num_ms == 64
+        assert config.distribution == HardwareConfig().distribution
+
+    def test_bad_enum_value_raises(self):
+        with pytest.raises(ConfigurationError, match="DN type"):
+            parse_config("[DSNetwork]\ntype = WORMHOLE\n")
+
+    def test_bad_int_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_config("[MSNetwork]\nms_size = lots\n")
+
+    def test_malformed_file_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_config("ms_size = 64 without a section")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_config(tmp_path / "nope.cfg")

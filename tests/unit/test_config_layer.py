@@ -1,0 +1,72 @@
+"""ConvLayerSpec / GemmSpec shape arithmetic."""
+
+import pytest
+
+from repro.config.layer import ConvLayerSpec, GemmSpec, linear_layer
+from repro.errors import ConfigurationError
+
+
+class TestConvLayerSpec:
+    def test_output_dims(self):
+        layer = ConvLayerSpec(r=3, s=3, c=4, k=8, x=10, y=10)
+        assert layer.x_out == 8
+        assert layer.y_out == 8
+
+    def test_output_dims_with_stride(self):
+        layer = ConvLayerSpec(r=3, s=3, c=4, k=8, x=11, y=11, stride=2)
+        assert layer.x_out == 5
+        assert layer.y_out == 5
+
+    def test_filter_size(self):
+        layer = ConvLayerSpec(r=3, s=3, c=6, k=6, x=7, y=7)
+        assert layer.filter_size == 54
+
+    def test_num_filters_includes_groups(self):
+        layer = ConvLayerSpec(r=3, s=3, c=1, k=1, g=16, x=8, y=8)
+        assert layer.num_filters == 16
+
+    def test_num_macs(self):
+        layer = ConvLayerSpec(r=3, s=3, c=6, k=6, x=7, y=7)
+        # 6 filters x 25 output pixels x 54-long dot products
+        assert layer.num_macs == 6 * 25 * 54
+
+    def test_num_outputs_includes_batch_and_groups(self):
+        layer = ConvLayerSpec(r=1, s=1, c=2, k=3, g=2, n=4, x=5, y=5)
+        assert layer.num_outputs == 4 * 2 * 3 * 5 * 5
+
+    def test_to_gemm_matches_table_v_convention(self):
+        layer = ConvLayerSpec(r=3, s=3, c=6, k=6, x=7, y=7)
+        gemm = layer.to_gemm()
+        assert (gemm.m, gemm.n, gemm.k) == (6, 25, 54)
+
+    def test_with_batch(self):
+        layer = ConvLayerSpec(r=3, s=3, c=4, k=8, x=10, y=10)
+        assert layer.with_batch(4).n == 4
+        assert layer.n == 1  # frozen original untouched
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ConfigurationError):
+            ConvLayerSpec(r=0, s=3, c=4, k=8, x=10, y=10)
+
+    def test_rejects_filter_larger_than_input(self):
+        with pytest.raises(ConfigurationError):
+            ConvLayerSpec(r=5, s=5, c=4, k=8, x=3, y=3)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ConfigurationError):
+            ConvLayerSpec(r=3.0, s=3, c=4, k=8, x=10, y=10)
+
+
+class TestGemmSpec:
+    def test_counts(self):
+        gemm = GemmSpec(m=4, n=5, k=6)
+        assert gemm.num_outputs == 20
+        assert gemm.num_macs == 120
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            GemmSpec(m=0, n=5, k=6)
+
+    def test_linear_layer_helper(self):
+        gemm = linear_layer(128, 64, batch=4)
+        assert (gemm.m, gemm.k, gemm.n) == (64, 128, 4)

@@ -1,0 +1,94 @@
+"""TileConfig arithmetic and the mRNA-style auto-tiler."""
+
+import pytest
+
+from repro.config.layer import ConvLayerSpec, GemmSpec
+from repro.config.tile import TileConfig, generate_conv_tile, generate_gemm_tile
+from repro.errors import ConfigurationError, MappingError
+
+
+class TestTileConfig:
+    def test_cluster_arithmetic(self):
+        tile = TileConfig(t_r=3, t_s=3, t_c=2, t_k=4, t_y=2)
+        assert tile.cluster_size == 18
+        assert tile.num_clusters == 8
+        assert tile.multipliers_used == 144
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            TileConfig(t_r=0)
+
+    def test_folds(self):
+        layer = ConvLayerSpec(r=3, s=3, c=6, k=6, x=7, y=7)
+        tile = TileConfig(t_r=3, t_s=3, t_c=1)
+        assert tile.folds_for(layer) == 6
+
+    def test_iterations(self):
+        layer = ConvLayerSpec(r=3, s=3, c=6, k=6, x=7, y=7)
+        tile = TileConfig(t_r=3, t_s=3, t_c=1, t_x=3, t_y=1)
+        # ceil(6/1) k-iters x ceil(5/3) x ceil(5/1)
+        assert tile.iterations_for(layer) == 6 * 2 * 5
+
+    def test_validate_rejects_oversized_tile(self):
+        layer = ConvLayerSpec(r=3, s=3, c=6, k=6, x=7, y=7)
+        with pytest.raises(MappingError, match="multipliers"):
+            TileConfig(t_r=3, t_s=3, t_c=6, t_k=6).validate_for(layer, 32)
+
+    def test_validate_rejects_tile_beyond_layer(self):
+        layer = ConvLayerSpec(r=3, s=3, c=6, k=6, x=7, y=7)
+        with pytest.raises(MappingError, match="t_k"):
+            TileConfig(t_r=3, t_s=3, t_k=8).validate_for(layer, 256)
+
+
+class TestAutoTiler:
+    def test_fits_fabric(self):
+        layer = ConvLayerSpec(r=3, s=3, c=16, k=32, x=10, y=10)
+        for num_ms in (16, 64, 256):
+            tile = generate_conv_tile(layer, num_ms)
+            assert tile.multipliers_used <= num_ms
+            tile.validate_for(layer, num_ms)
+
+    def test_small_layer_fully_mapped(self):
+        layer = ConvLayerSpec(r=3, s=3, c=2, k=2, x=5, y=5)
+        tile = generate_conv_tile(layer, 256)
+        # the whole dot product fits: no folding needed
+        assert tile.folds_for(layer) == 1
+
+    def test_large_filter_folds(self):
+        layer = ConvLayerSpec(r=3, s=3, c=64, k=8, x=6, y=6)
+        tile = generate_conv_tile(layer, 64)
+        assert tile.folds_for(layer) > 1
+        assert tile.cluster_size <= 64
+
+    def test_filter_parallelism_preferred_under_low_bandwidth(self):
+        # with scarce bandwidth the tiler should exploit t_k multicast
+        layer = ConvLayerSpec(r=3, s=3, c=16, k=16, x=18, y=18)
+        tile = generate_conv_tile(layer, 256, bandwidth=32)
+        assert tile.t_k > 1
+
+    def test_grouped_conv(self):
+        layer = ConvLayerSpec(r=3, s=3, c=1, k=1, g=64, x=10, y=10)
+        tile = generate_conv_tile(layer, 256)
+        tile.validate_for(layer, 256)
+        assert tile.cluster_size == 9
+
+    def test_window_larger_than_fabric(self):
+        layer = ConvLayerSpec(r=7, s=7, c=4, k=2, x=9, y=9)
+        tile = generate_conv_tile(layer, 8)
+        assert tile.multipliers_used <= 8
+
+    def test_gemm_tile(self):
+        gemm = GemmSpec(m=64, n=128, k=32)
+        tile = generate_gemm_tile(gemm, 128)
+        assert tile.cluster_size <= 128
+        assert tile.multipliers_used <= 128
+
+    def test_gemm_tile_huge_k_folds(self):
+        gemm = GemmSpec(m=8, n=8, k=4096)
+        tile = generate_gemm_tile(gemm, 64)
+        assert tile.cluster_size <= 64
+
+    def test_empty_fabric_rejected(self):
+        layer = ConvLayerSpec(r=3, s=3, c=2, k=2, x=5, y=5)
+        with pytest.raises(MappingError):
+            generate_conv_tile(layer, 0)

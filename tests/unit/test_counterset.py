@@ -1,0 +1,85 @@
+"""CounterSet activity accounting."""
+
+import pytest
+
+from repro.noc.base import CounterSet
+
+
+def test_starts_empty():
+    counters = CounterSet()
+    assert len(counters) == 0
+    assert counters.get("anything") == 0
+
+
+def test_add_and_get():
+    counters = CounterSet()
+    counters.add("mults", 5)
+    counters.add("mults", 3)
+    assert counters["mults"] == 8
+
+
+def test_zero_add_creates_nothing():
+    counters = CounterSet()
+    counters.add("noop", 0)
+    assert "noop" not in counters
+
+
+def test_negative_add_rejected():
+    with pytest.raises(ValueError):
+        CounterSet().add("bad", -1)
+
+
+def test_merge():
+    a, b = CounterSet(), CounterSet()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.add("y", 3)
+    a.merge(b)
+    assert a["x"] == 3 and a["y"] == 3
+
+
+def test_diff():
+    before = CounterSet()
+    before.add("x", 5)
+    after = CounterSet()
+    after.add("x", 8)
+    after.add("y", 2)
+    delta = after.diff(before)
+    assert delta["x"] == 3 and delta["y"] == 2
+
+
+def test_diff_rejects_backwards_counters():
+    before, after = CounterSet(), CounterSet()
+    before.add("x", 5)
+    after.add("x", 3)
+    with pytest.raises(ValueError):
+        after.diff(before)
+
+
+def test_copy_is_independent():
+    original = CounterSet()
+    original.add("x", 1)
+    clone = original.copy()
+    clone.add("x", 1)
+    assert original["x"] == 1 and clone["x"] == 2
+
+
+def test_scaled():
+    counters = CounterSet()
+    counters.add("x", 4)
+    assert counters.scaled(3)["x"] == 12
+
+
+def test_iteration_is_sorted():
+    counters = CounterSet()
+    counters.add("b", 1)
+    counters.add("a", 1)
+    assert list(counters) == ["a", "b"]
+
+
+def test_as_dict_and_reset():
+    counters = CounterSet()
+    counters.add("x", 2)
+    assert counters.as_dict() == {"x": 2}
+    counters.reset()
+    assert len(counters) == 0

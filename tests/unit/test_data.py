@@ -1,0 +1,42 @@
+"""Synthetic input generators."""
+
+import numpy as np
+
+from repro.frontend.data import synthetic_images, synthetic_token_ids
+
+
+def test_images_shape_and_dtype():
+    images = synthetic_images(batch=2, channels=3, size=16, seed=0)
+    assert images.shape == (2, 3, 16, 16)
+    assert images.dtype == np.float32
+
+
+def test_images_normalized():
+    images = synthetic_images(batch=4, seed=0)
+    assert abs(images.mean()) < 0.05
+    assert abs(images.std() - 1.0) < 0.05
+
+
+def test_images_deterministic():
+    assert np.array_equal(synthetic_images(seed=5), synthetic_images(seed=5))
+    assert not np.array_equal(synthetic_images(seed=5), synthetic_images(seed=6))
+
+
+def test_images_have_spatial_structure():
+    # neighbouring pixels correlate (unlike white noise)
+    image = synthetic_images(batch=1, size=32, seed=1)[0, 0]
+    corr = np.corrcoef(image[:-1].ravel(), image[1:].ravel())[0, 1]
+    assert corr > 0.3
+
+
+def test_token_ids_in_vocab():
+    ids = synthetic_token_ids(batch=3, seq_len=10, vocab_size=50, seed=2)
+    assert ids.shape == (3, 10)
+    assert ids.min() >= 0 and ids.max() < 50
+    assert ids.dtype == np.int64
+
+
+def test_token_ids_deterministic():
+    a = synthetic_token_ids(seed=9)
+    b = synthetic_token_ids(seed=9)
+    assert np.array_equal(a, b)

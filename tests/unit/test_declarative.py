@@ -1,0 +1,115 @@
+"""Declarative (Caffe-style) network descriptions."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import maeri_like
+from repro.engine.accelerator import Accelerator
+from repro.errors import ConfigurationError
+from repro.frontend.declarative import build_from_description, describe, load_network
+from repro.frontend.simulated import detach_context, simulate
+
+DESCRIPTION = {
+    "name": "lenet-ish",
+    "layers": [
+        {"type": "conv", "name": "c1", "in": 1, "out": 8, "kernel": 5},
+        {"type": "relu"},
+        {"type": "maxpool", "pool": 2},
+        {"type": "flatten"},
+        {"type": "linear", "name": "fc", "in": 8 * 12 * 12, "out": 10},
+        {"type": "log_softmax"},
+    ],
+}
+
+
+def test_build_and_forward(rng):
+    model = build_from_description(DESCRIPTION, seed=0)
+    out = model(rng.standard_normal((2, 1, 28, 28)).astype(np.float32))
+    assert out.shape == (2, 10)
+    assert np.allclose(np.exp(out).sum(axis=1), 1.0, atol=1e-4)
+
+
+def test_seed_determinism():
+    a = build_from_description(DESCRIPTION, seed=5)
+    b = build_from_description(DESCRIPTION, seed=5)
+    for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        assert np.array_equal(pa.data, pb.data)
+
+
+def test_declared_network_simulates(rng):
+    model = build_from_description(DESCRIPTION, seed=0)
+    x = rng.standard_normal((1, 1, 28, 28)).astype(np.float32)
+    native = model(x)
+    acc = Accelerator(maeri_like(64, 16))
+    simulate(model, acc)
+    simulated = model(x)
+    detach_context(model)
+    assert np.allclose(simulated, native, atol=1e-2, rtol=1e-3)
+    assert acc.report.total_cycles > 0
+
+
+def test_all_layer_types_build(rng):
+    description = {
+        "layers": [
+            {"type": "conv", "in": 3, "out": 4, "kernel": 3, "padding": 1,
+             "groups": 1, "stride": 1},
+            {"type": "batchnorm", "channels": 4},
+            {"type": "relu"},
+            {"type": "avgpool", "pool": None},
+            {"type": "linear", "in": 4, "out": 2},
+            {"type": "softmax"},
+        ]
+    }
+    model = build_from_description(description)
+    out = model(rng.standard_normal((1, 3, 8, 8)).astype(np.float32))
+    assert out.shape == (1, 2)
+
+
+def test_json_file_round_trip(tmp_path, rng):
+    path = tmp_path / "net.json"
+    path.write_text(json.dumps(DESCRIPTION))
+    model = load_network(path, seed=0)
+    reference = build_from_description(DESCRIPTION, seed=0)
+    x = rng.standard_normal((1, 1, 28, 28)).astype(np.float32)
+    assert np.allclose(model(x), reference(x), atol=1e-6)
+
+
+def test_describe_inverts_build(rng):
+    model = build_from_description(DESCRIPTION, seed=0)
+    rebuilt = build_from_description(describe(model), seed=0)
+    x = rng.standard_normal((1, 1, 28, 28)).astype(np.float32)
+    assert np.allclose(model(x), rebuilt(x), atol=1e-6)
+
+
+def test_missing_layers_rejected():
+    with pytest.raises(ConfigurationError):
+        build_from_description({"layers": []})
+
+
+def test_missing_type_rejected():
+    with pytest.raises(ConfigurationError, match="missing 'type'"):
+        build_from_description({"layers": [{"in": 3}]})
+
+
+def test_missing_required_key_rejected():
+    with pytest.raises(ConfigurationError, match="kernel"):
+        build_from_description({"layers": [{"type": "conv", "in": 3, "out": 4}]})
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ConfigurationError, match="unknown layer type"):
+        build_from_description({"layers": [{"type": "capsule"}]})
+
+
+def test_malformed_json_rejected(tmp_path):
+    path = tmp_path / "net.json"
+    path.write_text("{not json")
+    with pytest.raises(ConfigurationError, match="malformed"):
+        load_network(path)
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(ConfigurationError, match="not found"):
+        load_network(tmp_path / "ghost.json")

@@ -1,0 +1,66 @@
+"""DRAM timing/traffic model."""
+
+import pytest
+
+from repro.config.hardware import DramConfig
+from repro.memory.dram import Dram
+
+
+@pytest.fixture
+def dram():
+    return Dram(DramConfig(bandwidth_gbps=512.0), clock_ghz=1.0)
+
+
+def test_bytes_per_cycle(dram):
+    assert dram.bytes_per_cycle == 512.0
+
+
+def test_transfer_cycles(dram):
+    assert dram.transfer_cycles(0) == 0
+    assert dram.transfer_cycles(512) == 1
+    assert dram.transfer_cycles(513) == 2
+    assert dram.transfer_cycles(1) == 1
+
+
+def test_transfer_rejects_negative(dram):
+    with pytest.raises(ValueError):
+        dram.transfer_cycles(-1)
+
+
+def test_traffic_counters(dram):
+    dram.record_read(1000)
+    dram.record_write(500)
+    assert dram.counters["dram_bytes_read"] == 1000
+    assert dram.counters["dram_bytes_written"] == 500
+
+
+def test_row_buffer_hits(dram):
+    dram.record_read(64, address=0)
+    dram.record_read(64, address=128)  # same 2 KB row
+    dram.record_read(64, address=4096)  # different row
+    assert dram.counters["dram_row_hits"] == 1
+    assert dram.counters["dram_row_misses"] == 2
+
+
+def test_access_latency_depends_on_row_state(dram):
+    dram.record_read(64, address=0)
+    assert dram.access_latency(64) == dram.config.row_hit_latency_cycles
+    assert dram.access_latency(1 << 20) == dram.config.access_latency_cycles
+
+
+def test_zero_byte_record_is_noop(dram):
+    dram.record_read(0)
+    assert "dram_bytes_read" not in dram.counters
+
+
+def test_clock_scaling():
+    fast = Dram(DramConfig(bandwidth_gbps=512.0), clock_ghz=2.0)
+    # at 2 GHz the same GB/s provides fewer bytes per cycle
+    assert fast.bytes_per_cycle == 256.0
+
+
+def test_reset(dram):
+    dram.record_read(64, address=0)
+    dram.reset()
+    assert len(dram.counters) == 0
+    assert dram.access_latency(0) == dram.config.access_latency_cycles

@@ -1,0 +1,70 @@
+"""Design-space exploration sweep API."""
+
+import pytest
+
+from repro.config import ConvLayerSpec, GemmSpec
+from repro.errors import ConfigurationError
+from repro.experiments.dse import DsePoint, as_rows, pareto_front, sweep
+
+LAYER = ConvLayerSpec(r=3, s=3, c=8, k=8, x=10, y=10, name="dse-test")
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep(LAYER, architectures=("tpu", "maeri"), sizes=(64,),
+                 bandwidth_fractions=(1.0, 0.25))
+
+
+def test_grid_coverage(points):
+    # tpu only runs at full bandwidth; maeri at both fractions
+    assert len(points) == 3
+    assert {p.arch for p in points} == {"tpu", "maeri"}
+
+
+def test_point_metrics_positive(points):
+    for p in points:
+        assert p.cycles > 0
+        assert p.energy_uj > 0
+        assert p.area_um2 > 0
+        assert 0 < p.utilization <= 1
+        assert p.edp == pytest.approx(p.energy_uj * p.cycles)
+
+
+def test_analytical_reference_attached(points):
+    for p in points:
+        assert p.analytical_cycles is not None
+        assert p.analytical_error_pct is not None
+
+
+def test_bandwidth_fraction_slows_maeri(points):
+    maeri = sorted(
+        (p for p in points if p.arch == "maeri"), key=lambda p: p.bandwidth
+    )
+    assert maeri[0].cycles >= maeri[-1].cycles
+
+
+def test_gemm_workload_on_sigma():
+    points = sweep(GemmSpec(m=16, n=16, k=16), architectures=("sigma",),
+                   sizes=(32,), bandwidth_fractions=(0.5,))
+    assert len(points) == 1
+    assert points[0].analytical_cycles is None
+
+
+def test_unknown_architecture_rejected():
+    with pytest.raises(ConfigurationError):
+        sweep(LAYER, architectures=("npu9000",), sizes=(32,))
+
+
+def test_pareto_front():
+    mk = lambda c, e: DsePoint("a", 1, 1, c, e, 1.0, 0.5)
+    points = [mk(100, 5.0), mk(200, 1.0), mk(150, 6.0), mk(300, 0.9)]
+    front = pareto_front(points)
+    assert [(p.cycles, p.energy_uj) for p in front] == [
+        (100, 5.0), (200, 1.0), (300, 0.9),
+    ]
+
+
+def test_as_rows(points):
+    rows = as_rows(points)
+    assert len(rows) == len(points)
+    assert all("edp" in row for row in rows)

@@ -1,0 +1,94 @@
+"""Table-based energy model."""
+
+import pytest
+
+from repro.config.hardware import DataType
+from repro.engine.energy import EnergyBreakdown, EnergyTable, energy_report
+from repro.errors import ConfigurationError
+from repro.noc.base import CounterSet
+
+
+def _counters(**events) -> CounterSet:
+    counters = CounterSet()
+    for name, value in events.items():
+        counters.add(name, value)
+    return counters
+
+
+class TestEnergyTable:
+    def test_base_table_has_all_groups(self):
+        table = EnergyTable.for_config(28, DataType.FP8)
+        for name in ("mn_multiplications", "rn_adder_ops", "gb_reads",
+                     "dn_wire_traversals", "dram_bytes_read"):
+            assert table.cost_of(name) > 0
+
+    def test_unknown_counter_is_free(self):
+        table = EnergyTable.for_config(28, DataType.FP8)
+        assert table.cost_of("made_up_event") == 0.0
+
+    def test_smaller_node_is_cheaper(self):
+        t28 = EnergyTable.for_config(28, DataType.FP8)
+        t7 = EnergyTable.for_config(7, DataType.FP8)
+        assert t7.cost_of("mn_multiplications") < t28.cost_of("mn_multiplications")
+
+    def test_wider_dtype_costs_more(self):
+        fp8 = EnergyTable.for_config(28, DataType.FP8)
+        fp16 = EnergyTable.for_config(28, DataType.FP16)
+        assert fp16.cost_of("rn_adder_ops") > fp8.cost_of("rn_adder_ops")
+
+    def test_accumulator_costlier_than_multiplier(self):
+        # the structural fact behind the RN-dominated Fig. 5b breakdown
+        table = EnergyTable.for_config(28, DataType.FP8)
+        assert table.cost_of("rn_accumulator_ops") > table.cost_of("mn_multiplications")
+
+    def test_art_adder_costlier_than_fan_adder(self):
+        table = EnergyTable.for_config(28, DataType.FP8)
+        assert table.cost_of("rn_adder_ops_3to1") > table.cost_of("rn_adder_ops")
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyTable.for_config(10, DataType.FP8)
+
+
+class TestEnergyReport:
+    def test_grouping(self):
+        table = EnergyTable.for_config(28, DataType.FP8)
+        report = energy_report(
+            _counters(mn_multiplications=1000, rn_adder_ops=1000, gb_reads=100),
+            table,
+        )
+        assert set(report.by_group_uj) == {"MN", "RN", "GB"}
+        assert report.by_group_uj["RN"] > report.by_group_uj["MN"]
+
+    def test_dram_separated_from_onchip(self):
+        table = EnergyTable.for_config(28, DataType.FP8)
+        report = energy_report(
+            _counters(mn_multiplications=10, dram_bytes_read=1000), table
+        )
+        assert report.dram_uj > 0
+        assert "DRAM" not in report.by_group_uj
+        assert report.total_uj > report.onchip_dynamic_uj
+
+    def test_static_energy_scales_with_cycles(self):
+        table = EnergyTable.for_config(28, DataType.FP8)
+        short = energy_report(_counters(), table, cycles=1000, num_ms=256,
+                              gb_size_kb=108)
+        long = energy_report(_counters(), table, cycles=2000, num_ms=256,
+                             gb_size_kb=108)
+        assert long.static_uj == pytest.approx(2 * short.static_uj)
+
+    def test_shares_sum_to_one(self):
+        table = EnergyTable.for_config(28, DataType.FP8)
+        report = energy_report(
+            _counters(mn_multiplications=50, rn_adder_ops=50, gb_reads=50,
+                      dn_wire_traversals=50),
+            table,
+        )
+        total = sum(report.share_of(g) for g in ("MN", "RN", "GB", "DN"))
+        assert total == pytest.approx(1.0)
+
+    def test_empty_counters(self):
+        table = EnergyTable.for_config(28, DataType.FP8)
+        report = energy_report(_counters(), table)
+        assert report.total_uj == 0.0
+        assert report.share_of("RN") == 0.0

@@ -1,0 +1,32 @@
+"""The exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ApiError,
+    ConfigurationError,
+    MappingError,
+    SimulationError,
+    StonneError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc", [ConfigurationError, MappingError, SimulationError, ApiError]
+)
+def test_all_errors_derive_from_base(exc):
+    assert issubclass(exc, StonneError)
+
+
+def test_base_derives_from_exception():
+    assert issubclass(StonneError, Exception)
+
+
+def test_errors_carry_messages():
+    err = MappingError("tile too large")
+    assert "tile too large" in str(err)
+
+
+def test_catching_base_catches_subclasses():
+    with pytest.raises(StonneError):
+        raise ConfigurationError("bad config")

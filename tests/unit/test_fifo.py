@@ -1,0 +1,67 @@
+"""Bounded FIFO semantics and statistics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.noc.fifo import Fifo
+
+
+def test_push_pop_order():
+    fifo = Fifo("f", 4)
+    fifo.push(1)
+    fifo.push(2)
+    assert fifo.pop() == 1
+    assert fifo.pop() == 2
+
+
+def test_overflow_raises():
+    fifo = Fifo("f", 1)
+    fifo.push("a")
+    with pytest.raises(SimulationError, match="full"):
+        fifo.push("b")
+
+
+def test_underflow_raises():
+    with pytest.raises(SimulationError, match="empty"):
+        Fifo("f", 1).pop()
+
+
+def test_peek_does_not_consume():
+    fifo = Fifo("f", 2)
+    fifo.push(7)
+    assert fifo.peek() == 7
+    assert len(fifo) == 1
+
+
+def test_peek_empty_returns_none():
+    assert Fifo("f", 1).peek() is None
+
+
+def test_statistics():
+    fifo = Fifo("f", 3)
+    for item in range(3):
+        fifo.push(item)
+    fifo.pop()
+    assert fifo.pushes == 3
+    assert fifo.pops == 1
+    assert fifo.peak_occupancy == 3
+
+
+def test_reset():
+    fifo = Fifo("f", 2)
+    fifo.push(1)
+    fifo.reset()
+    assert fifo.is_empty
+    assert fifo.pushes == 0
+
+
+def test_zero_depth_rejected():
+    with pytest.raises(SimulationError):
+        Fifo("f", 0)
+
+
+def test_full_and_empty_flags():
+    fifo = Fifo("f", 1)
+    assert fifo.is_empty and not fifo.is_full
+    fifo.push(1)
+    assert fifo.is_full and not fifo.is_empty

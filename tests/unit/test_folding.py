@@ -1,0 +1,71 @@
+"""Batch-normalization folding."""
+
+import numpy as np
+
+from repro.frontend.folding import fold_batchnorms, fold_conv_bn
+from repro.frontend.layers import BatchNorm2d, Conv2d
+from repro.frontend.models import build_model, model_input
+from repro.frontend.module import Module
+
+
+def test_fold_preserves_output(rng):
+    conv = Conv2d(3, 4, 3, rng=rng)
+    bn = BatchNorm2d(4, rng=rng)
+    x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+    before = bn(conv(x))
+    fold_conv_bn(conv, bn)
+    after = bn(conv(x))
+    assert np.allclose(before, after, atol=1e-4)
+
+
+def test_folded_bn_is_identity(rng):
+    conv = Conv2d(3, 4, 3, rng=rng)
+    bn = BatchNorm2d(4, rng=rng)
+    fold_conv_bn(conv, bn)
+    x = rng.standard_normal((1, 4, 4, 4)).astype(np.float32)
+    assert np.allclose(bn(x), x, atol=1e-5)
+
+
+def test_fold_creates_bias_when_missing(rng):
+    conv = Conv2d(3, 4, 3, bias=False, rng=rng)
+    bn = BatchNorm2d(4, rng=rng)
+    fold_conv_bn(conv, bn)
+    assert conv.bias is not None
+
+
+def test_model_walk_finds_pairs(rng):
+    class Block(Module):
+        def __init__(self):
+            super().__init__("block")
+            self.conv = Conv2d(3, 4, 3, rng=rng)
+            self.bn = BatchNorm2d(4, rng=rng)
+            self.other = Conv2d(4, 2, 1, rng=rng)  # no BN follows
+
+        def forward(self, x):
+            return self.other(self.bn(self.conv(x)))
+
+    block = Block()
+    assert fold_batchnorms(block) == 1
+
+
+def test_resnet_folding_preserves_predictions():
+    model = build_model("resnet50", seed=0, prune=False)
+    x = model_input("resnet50", batch=1, seed=1)
+    before = model(x)
+    folded = fold_batchnorms(model)
+    after = model(x)
+    assert folded > 0
+    assert np.allclose(before, after, atol=1e-3)
+
+
+def test_mismatched_channels_not_folded(rng):
+    class Odd(Module):
+        def __init__(self):
+            super().__init__("odd")
+            self.conv = Conv2d(3, 4, 3, rng=rng)
+            self.bn = BatchNorm2d(8, rng=rng)  # different width
+
+        def forward(self, x):
+            return x
+
+    assert fold_batchnorms(Odd()) == 0

@@ -1,0 +1,70 @@
+"""Module system: registration, iteration, Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frontend.layers import Conv2d, Linear, ReLU
+from repro.frontend.module import Module, Parameter, Sequential
+
+
+def test_parameter_registration():
+    layer = Linear(4, 2)
+    names = dict(layer.named_parameters())
+    assert any(name.endswith("weight") for name in names)
+    assert any(name.endswith("bias") for name in names)
+
+
+def test_parameter_shape_and_sparsity():
+    param = Parameter(np.array([[0.0, 1.0], [2.0, 0.0]]))
+    assert param.shape == (2, 2)
+    assert param.size == 4
+    assert param.sparsity() == 0.5
+
+
+def test_module_registration_and_iteration():
+    class Net(Module):
+        def __init__(self):
+            super().__init__("net")
+            self.a = Linear(4, 4)
+            self.b = Linear(4, 2)
+
+        def forward(self, x):
+            return self.b(self.a(x))
+
+    net = Net()
+    assert len(list(net.children())) == 2
+    assert len(list(net.modules())) == 3
+    names = [name for name, _ in net.named_modules()]
+    assert names == ["net", "net.a", "net.b"]
+
+
+def test_num_parameters():
+    layer = Linear(4, 2, bias=True)
+    assert layer.num_parameters() == 4 * 2 + 2
+
+
+def test_forward_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Module()(np.zeros(1))
+
+
+class TestSequential:
+    def test_runs_in_order(self, rng):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        out = model(rng.standard_normal((3, 4)).astype(np.float32))
+        assert out.shape == (3, 2)
+        assert (model[1](np.array([-1.0, 1.0])) == np.array([0.0, 1.0])).all()
+
+    def test_len_and_indexing(self):
+        model = Sequential(Linear(4, 4), ReLU())
+        assert len(model) == 2
+        assert isinstance(model[0], Linear)
+
+    def test_registers_children(self):
+        model = Sequential(Linear(4, 4), Conv2d(1, 1, 1))
+        assert len(list(model.children())) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Sequential()

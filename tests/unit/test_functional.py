@@ -1,0 +1,91 @@
+"""Native CPU reference operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frontend import functional as F
+
+
+class TestConv2d:
+    def test_direct_computation(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        out = F.conv2d(x, w)
+        expected = np.sum(w[1] * x[0, :, 1:4, 2:5])
+        assert out[0, 1, 1, 2] == pytest.approx(expected, abs=1e-4)
+
+    def test_bias(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((2, 1, 3, 3)).astype(np.float32)
+        bias = np.array([10.0, -10.0], dtype=np.float32)
+        out = F.conv2d(x, w, bias=bias)
+        no_bias = F.conv2d(x, w)
+        assert np.allclose(out[0, 0], no_bias[0, 0] + 10.0, atol=1e-5)
+
+    def test_stride_padding(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 4, 4, 4)
+
+    def test_groups(self, rng):
+        x = rng.standard_normal((1, 4, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((4, 1, 3, 3)).astype(np.float32)
+        out = F.conv2d(x, w, groups=4)
+        # each output channel depends only on its own input channel
+        single = F.conv2d(x[:, 1:2], w[1:2])
+        assert np.allclose(out[:, 1], single[:, 0], atol=1e-5)
+
+    def test_group_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            F.conv2d(
+                rng.standard_normal((1, 4, 5, 5)),
+                rng.standard_normal((4, 2, 3, 3)),
+                groups=4,
+            )
+
+
+class TestOtherOps:
+    def test_linear(self, rng):
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        w = rng.standard_normal((2, 5)).astype(np.float32)
+        b = rng.standard_normal(2).astype(np.float32)
+        assert np.allclose(F.linear(x, w, b), x @ w.T + b, atol=1e-5)
+
+    def test_relu(self):
+        assert (F.relu(np.array([-1.0, 0.0, 2.0])) == np.array([0, 0, 2])).all()
+
+    def test_maxpool(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4)).astype(np.float32)
+        out = F.maxpool2d(x, 2)
+        assert out[0, 0, 0, 0] == x[0, 0, :2, :2].max()
+
+    def test_avgpool_and_global(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        assert np.allclose(F.avgpool2d(x, 4)[0, :, 0, 0], x.mean(axis=(2, 3))[0])
+        assert np.allclose(F.global_avgpool2d(x), x.mean(axis=(2, 3)))
+
+    def test_batchnorm_inference(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        mean = x.mean(axis=(0, 2, 3))
+        var = x.var(axis=(0, 2, 3))
+        out = F.batchnorm2d(x, mean, var, np.ones(3), np.zeros(3))
+        assert out.mean() == pytest.approx(0.0, abs=1e-3)
+        assert out.std() == pytest.approx(1.0, abs=1e-2)
+
+    def test_layernorm(self, rng):
+        x = rng.standard_normal((2, 5, 8)).astype(np.float32)
+        out = F.layernorm(x, np.ones(8), np.zeros(8))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+
+    def test_softmax_sums_to_one(self, rng):
+        x = rng.standard_normal((3, 7)).astype(np.float32)
+        assert np.allclose(F.softmax(x).sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_softmax_stable_for_large_values(self):
+        out = F.softmax(np.array([1000.0, 1000.0]))
+        assert np.allclose(out, [0.5, 0.5])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        assert np.allclose(F.log_softmax(x), np.log(F.softmax(x)), atol=1e-5)

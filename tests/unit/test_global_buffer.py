@@ -1,0 +1,65 @@
+"""Global Buffer capacity, ports and double-buffering."""
+
+import pytest
+
+from repro.config.hardware import DataType
+from repro.errors import ConfigurationError
+from repro.memory.global_buffer import GlobalBuffer
+
+
+@pytest.fixture
+def gb():
+    return GlobalBuffer(
+        size_kb=108, banks=8, read_bandwidth=128, write_bandwidth=128,
+        dtype=DataType.FP8,
+    )
+
+
+def test_capacity(gb):
+    assert gb.capacity_elements == 108 * 1024
+    assert gb.half_capacity_elements == 108 * 1024 // 2
+
+
+def test_capacity_scales_with_dtype():
+    gb16 = GlobalBuffer(108, 8, 128, 128, DataType.FP16)
+    assert gb16.capacity_elements == 108 * 1024 // 2
+
+
+def test_fits_double_buffer_half(gb):
+    assert gb.fits(gb.half_capacity_elements)
+    assert not gb.fits(gb.half_capacity_elements + 1)
+
+
+def test_port_timing(gb):
+    assert gb.read_cycles(0) == 0
+    assert gb.read_cycles(128) == 1
+    assert gb.read_cycles(129) == 2
+    assert gb.write_cycles(256) == 2
+
+
+def test_dram_stalls_only_beyond_compute(gb):
+    assert gb.dram_stall_cycles(transfer_cycles=100, compute_cycles=150) == 0
+    assert gb.dram_stall_cycles(transfer_cycles=150, compute_cycles=100) == 50
+
+
+def test_activity_counters(gb):
+    gb.record_reads(10)
+    gb.record_writes(5)
+    gb.record_fill(20)
+    assert gb.counters["gb_reads"] == 10
+    assert gb.counters["gb_writes"] == 5
+    assert gb.counters["gb_fills"] == 20
+
+
+def test_negative_activity_rejected(gb):
+    with pytest.raises(ValueError):
+        gb.record_reads(-1)
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigurationError):
+        GlobalBuffer(0, 8, 128, 128, DataType.FP8)
+    with pytest.raises(ConfigurationError):
+        GlobalBuffer(108, 0, 128, 128, DataType.FP8)
+    with pytest.raises(ConfigurationError):
+        GlobalBuffer(108, 8, 0, 128, DataType.FP8)

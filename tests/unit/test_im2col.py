@@ -1,0 +1,81 @@
+"""im2col lowering correctness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tensors.im2col import col2im_output, conv2d_output_shape, im2col
+
+
+class TestOutputShape:
+    def test_basic(self):
+        assert conv2d_output_shape(10, 10, 3, 3) == (8, 8)
+
+    def test_with_stride_and_padding(self):
+        assert conv2d_output_shape(32, 32, 3, 3, stride=2, padding=1) == (16, 16)
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(ConfigurationError):
+            conv2d_output_shape(2, 2, 5, 5)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        cols = im2col(x, 3, 3)
+        assert cols.shape == (3 * 9, 2 * 6 * 6)
+
+    def test_matmul_equals_direct_conv(self, rng):
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        cols = im2col(x, 3, 3)
+        out = col2im_output(w.reshape(4, -1) @ cols, 1, 6, 6)
+        ref = np.zeros((1, 4, 6, 6), dtype=np.float32)
+        for k in range(4):
+            for i in range(6):
+                for j in range(6):
+                    ref[0, k, i, j] = np.sum(w[k] * x[0, :, i : i + 3, j : j + 3])
+        assert np.allclose(out, ref, atol=1e-4)
+
+    def test_stride(self, rng):
+        x = rng.standard_normal((1, 2, 9, 9)).astype(np.float32)
+        cols = im2col(x, 3, 3, stride=2)
+        assert cols.shape == (18, 16)
+        # the second column is the window starting at (0, 2)
+        assert np.allclose(
+            cols[:, 1], x[0, :, 0:3, 2:5].reshape(-1)
+        )
+
+    def test_padding(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4)).astype(np.float32)
+        cols = im2col(x, 3, 3, padding=1)
+        assert cols.shape == (9, 16)
+        # the first window's top-left corner is padding (zero)
+        assert cols[0, 0] == 0.0
+
+    def test_1x1_kernel_is_reshape(self, rng):
+        x = rng.standard_normal((1, 4, 5, 5)).astype(np.float32)
+        cols = im2col(x, 1, 1)
+        assert np.allclose(cols, x[0].reshape(4, 25))
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ConfigurationError):
+            im2col(rng.standard_normal((3, 8, 8)), 3, 3)
+
+
+class TestCol2im:
+    def test_round_shape(self, rng):
+        gemm_out = rng.standard_normal((4, 2 * 3 * 5)).astype(np.float32)
+        out = col2im_output(gemm_out, 2, 3, 5)
+        assert out.shape == (2, 4, 3, 5)
+
+    def test_rejects_bad_column_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            col2im_output(rng.standard_normal((4, 10)), 1, 3, 5)
+
+    def test_batch_layout(self, rng):
+        # column order is (n, x, y) within each row
+        gemm_out = np.arange(2 * 2 * 2 * 1, dtype=np.float32).reshape(2, 4)
+        out = col2im_output(gemm_out, 2, 2, 1)
+        assert out[0, 0, 0, 0] == 0 and out[0, 0, 1, 0] == 1
+        assert out[1, 0, 0, 0] == 2 and out[1, 1, 0, 0] == 6

@@ -1,0 +1,101 @@
+"""The interactive STONNE User Interface prompt."""
+
+import io
+
+import pytest
+
+from repro.ui.interactive import InteractiveSession, run_interactive
+
+
+def _session():
+    out = io.StringIO()
+    return InteractiveSession(stdin=io.StringIO(), stdout=out, seed=0), out
+
+
+def test_full_conv_session():
+    session, out = _session()
+    for line in (
+        "arch maeri 32 4",
+        "conv 3 3 6 6 1 1 7 7",
+        "tile 3 3 1 1 1 1 3 1",
+        "run",
+        "stats",
+    ):
+        assert session.handle(line)
+    text = out.getvalue()
+    assert "instantiated maeri-like" in text
+    assert "loaded conv layer" in text
+    assert "tile set" in text
+    assert "done:" in text and "cycles" in text
+    assert '"total_cycles"' in text
+
+
+def test_gemm_on_sigma_with_sparsity():
+    session, out = _session()
+    session.handle("arch sigma 32 16")
+    session.handle("gemm 8 8 16 0.5")
+    session.handle("run")
+    assert "done:" in out.getvalue()
+
+
+def test_tpu_session():
+    session, out = _session()
+    session.handle("arch tpu 16")
+    session.handle("gemm 4 4 8")
+    session.handle("run")
+    assert "done:" in out.getvalue()
+
+
+def test_run_without_arch_reports_error():
+    session, out = _session()
+    session.handle("run")
+    assert "error:" in out.getvalue()
+
+
+def test_run_without_layer_reports_error():
+    session, out = _session()
+    session.handle("arch maeri 32 8")
+    session.handle("run")
+    assert "error: load a layer first" in out.getvalue()
+
+
+def test_unknown_command():
+    session, out = _session()
+    session.handle("frobnicate")
+    assert "unknown command" in out.getvalue()
+
+
+def test_bad_arguments_do_not_crash():
+    session, out = _session()
+    session.handle("conv 3 3")
+    session.handle("arch warp-drive")
+    session.handle("tile 1 2 3")
+    text = out.getvalue()
+    assert text.count("error:") == 3
+
+
+def test_help_and_comments_and_blank_lines():
+    session, out = _session()
+    assert session.handle("help")
+    assert session.handle("")
+    assert session.handle("# a comment")
+    assert "commands:" in out.getvalue()
+
+
+def test_quit_ends_session():
+    session, out = _session()
+    assert not session.handle("quit")
+    assert "bye" in out.getvalue()
+
+
+def test_run_interactive_loop_reads_stream():
+    stdin = io.StringIO("arch maeri 32 8\ngemm 4 4 8\nrun\nquit\n")
+    out = io.StringIO()
+    assert run_interactive(stdin=stdin, stdout=out) == 0
+    assert "done:" in out.getvalue()
+
+
+def test_eof_ends_loop():
+    stdin = io.StringIO("arch maeri 32 8\n")
+    out = io.StringIO()
+    assert run_interactive(stdin=stdin, stdout=out) == 0

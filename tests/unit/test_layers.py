@@ -1,0 +1,94 @@
+"""Layer zoo: native execution and context dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.config.layer import LayerKind
+from repro.errors import ConfigurationError
+from repro.frontend import functional as F
+from repro.frontend.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    LayerNorm,
+    Linear,
+    LogSoftmax,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+
+
+def test_conv_native_matches_functional(rng):
+    layer = Conv2d(3, 4, 3, padding=1, rng=rng)
+    x = rng.standard_normal((1, 3, 6, 6)).astype(np.float32)
+    expected = F.conv2d(x, layer.weight.data, layer.bias.data, 1, 1, 1)
+    assert np.allclose(layer(x), expected, atol=1e-5)
+
+
+def test_conv_weight_shape_and_kind(rng):
+    layer = Conv2d(8, 4, 3, groups=2, kind=LayerKind.FACTORIZED_CONV, rng=rng)
+    assert layer.weight.shape == (4, 4, 3, 3)
+    assert layer.kind is LayerKind.FACTORIZED_CONV
+
+
+def test_conv_rejects_bad_groups():
+    with pytest.raises(ConfigurationError):
+        Conv2d(3, 4, 3, groups=2)
+
+
+def test_conv_without_bias(rng):
+    layer = Conv2d(2, 2, 3, bias=False, rng=rng)
+    assert layer.bias is None
+
+
+def test_conv_weights_have_negative_mean(rng):
+    # the calibrated init that reproduces trained-CNN activation sparsity
+    layer = Conv2d(32, 64, 3, rng=rng)
+    assert layer.weight.data.mean() < 0
+
+
+def test_linear_native(rng):
+    layer = Linear(6, 3, rng=rng)
+    x = rng.standard_normal((2, 6)).astype(np.float32)
+    expected = x @ layer.weight.data.T + layer.bias.data
+    assert np.allclose(layer(x), expected, atol=1e-5)
+
+
+def test_maxpool_layer(rng):
+    layer = MaxPool2d(2)
+    x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+    assert np.allclose(layer(x), F.maxpool2d(x, 2))
+
+
+def test_avgpool_global_by_default(rng):
+    layer = AvgPool2d(None)
+    x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+    assert layer(x).shape == (1, 2)
+
+
+def test_batchnorm_layer_runs(rng):
+    layer = BatchNorm2d(4, rng=rng)
+    out = layer(rng.standard_normal((2, 4, 3, 3)).astype(np.float32))
+    assert out.shape == (2, 4, 3, 3)
+
+
+def test_layernorm_layer(rng):
+    layer = LayerNorm(8)
+    out = layer(rng.standard_normal((2, 3, 8)).astype(np.float32))
+    assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+
+
+def test_activations_and_flatten(rng):
+    x = rng.standard_normal((2, 3, 2, 2)).astype(np.float32)
+    assert Flatten()(x).shape == (2, 12)
+    assert (ReLU()(np.array([-1.0, 1.0])) == np.array([0.0, 1.0])).all()
+    assert np.allclose(Softmax()(x).sum(axis=-1), 1.0, atol=1e-5)
+    assert LogSoftmax()(x).max() <= 0.0
+
+
+def test_deterministic_init_with_seeded_rng():
+    a = Conv2d(3, 4, 3, rng=np.random.default_rng(7))
+    b = Conv2d(3, 4, 3, rng=np.random.default_rng(7))
+    assert np.array_equal(a.weight.data, b.weight.data)

@@ -1,0 +1,47 @@
+"""Mapper: tile selection and compatibility checks."""
+
+import pytest
+
+from repro.config import ConvLayerSpec, GemmSpec, TileConfig, maeri_like, sigma_like
+from repro.config.hardware import ReductionKind
+from repro.engine.mapper import Mapper
+from repro.errors import MappingError
+
+LAYER = ConvLayerSpec(r=3, s=3, c=8, k=8, x=10, y=10)
+
+
+def test_auto_tile_fits():
+    mapper = Mapper(maeri_like(64, 16))
+    tile = mapper.tile_for_conv(LAYER)
+    assert tile.multipliers_used <= 64
+
+
+def test_explicit_tile_validated():
+    mapper = Mapper(maeri_like(32, 8))
+    with pytest.raises(MappingError):
+        mapper.tile_for_conv(LAYER, TileConfig(t_r=3, t_s=3, t_c=8))
+
+
+def test_explicit_tile_accepted():
+    mapper = Mapper(maeri_like(64, 16))
+    tile = TileConfig(t_r=3, t_s=3, t_c=4)
+    assert mapper.tile_for_conv(LAYER, tile) is tile
+
+
+def test_sparse_rejects_conv_path():
+    mapper = Mapper(sigma_like(64, 16))
+    with pytest.raises(MappingError, match="im2col"):
+        mapper.tile_for_conv(LAYER)
+
+
+def test_gemm_tile():
+    mapper = Mapper(maeri_like(64, 16))
+    tile = mapper.tile_for_gemm(GemmSpec(m=16, n=16, k=16))
+    assert tile.multipliers_used <= 64
+
+
+def test_rt_requires_power_of_two_clusters():
+    config = maeri_like(64, 16, reduction=ReductionKind.RT)
+    mapper = Mapper(config)
+    with pytest.raises(MappingError, match="power-of-two"):
+        mapper.tile_for_conv(LAYER, TileConfig(t_r=3, t_s=3))

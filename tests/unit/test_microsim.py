@@ -1,0 +1,67 @@
+"""The queue-based reference micro-simulation vs the fast-forwarding
+controller: cycle counts must agree exactly in the shared regime."""
+
+import pytest
+
+from repro.config import ConvLayerSpec, TileConfig, maeri_like
+from repro.config.hardware import MultiplierKind
+from repro.engine.microsim import DenseMicroSim, compare_with_controller
+from repro.errors import MappingError
+
+CASES = [
+    # (layer, tile, config)
+    (
+        ConvLayerSpec(r=3, s=3, c=2, k=4, x=7, y=7),
+        TileConfig(t_r=3, t_s=3, t_c=2, t_k=1),
+        maeri_like(32, 4),
+    ),
+    (
+        ConvLayerSpec(r=3, s=3, c=2, k=4, x=7, y=7),
+        TileConfig(t_r=3, t_s=3, t_c=2, t_k=1),
+        maeri_like(32, 32),
+    ),
+    (
+        ConvLayerSpec(r=1, s=1, c=8, k=8, x=4, y=4),
+        TileConfig(t_c=8, t_k=2, t_y=2),
+        maeri_like(64, 8),
+    ),
+    (
+        ConvLayerSpec(r=2, s=2, c=4, k=2, g=2, x=6, y=6),
+        TileConfig(t_r=2, t_s=2, t_c=4, t_g=1, t_k=1),
+        maeri_like(32, 8),
+    ),
+    (
+        ConvLayerSpec(r=3, s=3, c=2, k=4, n=2, x=7, y=7),
+        TileConfig(t_r=3, t_s=3, t_c=2, t_n=2),
+        maeri_like(64, 8),
+    ),
+]
+
+
+@pytest.mark.parametrize("layer, tile, config", CASES)
+def test_microsim_matches_controller(layer, tile, config):
+    micro_cycles, controller_cycles = compare_with_controller(config, layer, tile)
+    assert micro_cycles == controller_cycles
+
+
+def test_microsim_rejects_folding_layers():
+    layer = ConvLayerSpec(r=3, s=3, c=8, k=2, x=5, y=5)
+    tile = TileConfig(t_r=3, t_s=3, t_c=2)  # folds = 4
+    with pytest.raises(MappingError, match="folds"):
+        DenseMicroSim(maeri_like(32, 8)).run_conv(layer, tile)
+
+
+def test_microsim_reports_fifo_statistics():
+    layer = ConvLayerSpec(r=3, s=3, c=2, k=2, x=5, y=5)
+    tile = TileConfig(t_r=3, t_s=3, t_c=2)
+    result = DenseMicroSim(maeri_like(32, 8)).run_conv(layer, tile)
+    assert result.fifo_pushes == result.steps
+    assert result.fifo_peak_occupancy >= 1
+
+
+def test_microsim_without_forwarding():
+    layer = ConvLayerSpec(r=3, s=3, c=2, k=4, x=7, y=7)
+    tile = TileConfig(t_r=3, t_s=3, t_c=2)
+    config = maeri_like(32, 8, multiplier=MultiplierKind.DISABLED)
+    micro_cycles, controller_cycles = compare_with_controller(config, layer, tile)
+    assert micro_cycles == controller_cycles

@@ -1,0 +1,113 @@
+"""The seven Table I models: structure, sparsity and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.config.layer import LayerKind
+from repro.errors import ConfigurationError
+from repro.frontend.layers import Conv2d, Linear
+from repro.frontend.models import (
+    MODEL_INFO,
+    MODEL_NAMES,
+    REPRESENTATIVE_LAYERS,
+    build_model,
+    model_input,
+)
+from repro.frontend.models.zoo import CNN_MODEL_NAMES
+
+
+def test_registry_has_seven_models():
+    assert len(MODEL_NAMES) == 7
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_forward_pass_runs(name):
+    model = build_model(name, seed=0)
+    out = model(model_input(name, batch=1, seed=1))
+    assert out.ndim == 2
+    assert np.isfinite(out).all()
+    assert out.std() > 0  # non-degenerate predictions
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_pruned_sparsity_near_table_i(name):
+    model = build_model(name, seed=0)
+    info = MODEL_INFO[name]
+    zeros = total = 0
+    for module in model.modules():
+        if isinstance(module, (Conv2d, Linear)):
+            weights = module.weight.data
+            zeros += int(np.count_nonzero(weights == 0))
+            total += weights.size
+    assert zeros / total == pytest.approx(info.sparsity, abs=0.03)
+
+
+def test_dense_variant_has_no_pruning():
+    model = build_model("vgg16", seed=0, prune=False)
+    for module in model.modules():
+        if isinstance(module, (Conv2d, Linear)):
+            assert module.weight.sparsity() < 0.01
+
+
+def test_deterministic_weights():
+    a = build_model("alexnet", seed=3)
+    b = build_model("alexnet", seed=3)
+    for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        assert np.array_equal(pa.data, pb.data)
+
+
+def test_different_seeds_differ():
+    a = build_model("alexnet", seed=1)
+    b = build_model("alexnet", seed=2)
+    weights_a = next(iter(a.parameters())).data
+    weights_b = next(iter(b.parameters())).data
+    assert not np.array_equal(weights_a, weights_b)
+
+
+def test_dominant_layer_kinds_present():
+    """Each model contains its Table I dominant layer types."""
+    for name, info in MODEL_INFO.items():
+        model = build_model(name, seed=0)
+        kinds = {
+            module.kind
+            for module in model.modules()
+            if isinstance(module, (Conv2d, Linear))
+        }
+        for kind in info.dominant_kinds:
+            assert kind in kinds, f"{name} lacks {kind}"
+
+
+def test_mobilenets_uses_grouped_convs():
+    model = build_model("mobilenets", seed=0)
+    assert any(
+        isinstance(m, Conv2d) and m.groups > 1 for m in model.modules()
+    )
+
+
+def test_bert_takes_token_ids():
+    ids = model_input("bert", batch=2, seed=0)
+    assert ids.dtype == np.int64
+    out = build_model("bert", seed=0)(ids)
+    assert out.shape == (2, 2)
+
+
+def test_cnn_subset():
+    assert set(CNN_MODEL_NAMES) == {"alexnet", "squeezenet", "vgg16", "resnet50"}
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ConfigurationError):
+        build_model("lenet")
+
+
+def test_representative_layers_cover_fig1():
+    assert set(REPRESENTATIVE_LAYERS) == {
+        "S-SC", "S-EC", "M-FC", "R-C", "B-TR", "M-L", "R-L", "B-L",
+    }
+    assert REPRESENTATIVE_LAYERS["M-FC"].g > 1
+    assert REPRESENTATIVE_LAYERS["S-SC"].kind is LayerKind.SQUEEZE_CONV
+
+
+def test_batch_inputs(rng):
+    images = model_input("vgg16", batch=3, seed=0)
+    assert images.shape == (3, 3, 32, 32)

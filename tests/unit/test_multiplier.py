@@ -1,0 +1,89 @@
+"""Multiplier network configuration and activity."""
+
+import pytest
+
+from repro.config.hardware import MultiplierKind
+from repro.errors import ConfigurationError, MappingError
+from repro.noc.multiplier import MultiplierNetwork, build_multiplier_network
+
+
+def test_cluster_configuration():
+    mn = MultiplierNetwork(32, forwarding=True)
+    mn.configure_clusters([9, 9, 9])
+    assert mn.cluster_sizes == (9, 9, 9)
+    assert mn.multipliers_in_use == 27
+    assert mn.utilization == pytest.approx(27 / 32)
+
+
+def test_forwarders_count_against_capacity():
+    mn = MultiplierNetwork(16, forwarding=True)
+    mn.configure_clusters([7, 7], forwarders=2)
+    assert mn.forwarder_count == 2
+    with pytest.raises(MappingError):
+        mn.configure_clusters([8, 8], forwarders=1)
+
+
+def test_overflow_rejected():
+    mn = MultiplierNetwork(16, forwarding=True)
+    with pytest.raises(MappingError):
+        mn.configure_clusters([10, 10])
+
+
+def test_nonpositive_cluster_rejected():
+    mn = MultiplierNetwork(16, forwarding=True)
+    with pytest.raises(MappingError):
+        mn.configure_clusters([0, 4])
+
+
+def test_reconfiguration_counted():
+    mn = MultiplierNetwork(16, forwarding=True)
+    mn.configure_clusters([4])
+    mn.configure_clusters([8])
+    assert mn.counters["mn_reconfigurations"] == 2
+
+
+def test_multiplication_accounting():
+    mn = MultiplierNetwork(16, forwarding=True)
+    mn.record_multiplications(100)
+    assert mn.counters["mn_multiplications"] == 100
+    with pytest.raises(ValueError):
+        mn.record_multiplications(-1)
+
+
+def test_forwarding_requires_linear_network():
+    dmn = MultiplierNetwork(16, forwarding=False)
+    with pytest.raises(MappingError, match="disabled"):
+        dmn.record_forwarding(4)
+    # zero hops are always fine
+    dmn.record_forwarding(0)
+
+
+def test_lmn_records_forwarding():
+    lmn = MultiplierNetwork(16, forwarding=True)
+    lmn.record_forwarding(12)
+    assert lmn.counters["mn_forwarding_hops"] == 12
+
+
+def test_psum_injection():
+    mn = MultiplierNetwork(16, forwarding=True)
+    mn.record_psum_injections(3)
+    assert mn.counters["mn_psum_injections"] == 3
+
+
+def test_reset_clears_configuration():
+    mn = MultiplierNetwork(16, forwarding=True)
+    mn.configure_clusters([4, 4])
+    mn.reset()
+    assert mn.cluster_sizes == ()
+    assert mn.multipliers_in_use == 0
+
+
+def test_needs_at_least_one_ms():
+    with pytest.raises(ConfigurationError):
+        MultiplierNetwork(0, forwarding=True)
+
+
+def test_factory():
+    lmn = build_multiplier_network(MultiplierKind.LINEAR, 8)
+    dmn = build_multiplier_network(MultiplierKind.DISABLED, 8)
+    assert lmn.forwarding and not dmn.forwarding

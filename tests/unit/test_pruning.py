@@ -1,0 +1,53 @@
+"""Magnitude pruning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tensors.pruning import magnitude_prune, sparsity_of
+
+
+def test_target_sparsity_reached(rng):
+    weights = rng.standard_normal(1000)
+    pruned = magnitude_prune(weights, 0.75)
+    assert sparsity_of(pruned) == pytest.approx(0.75, abs=0.01)
+
+
+def test_keeps_largest_magnitudes(rng):
+    weights = np.array([0.1, -5.0, 0.01, 3.0, -0.2])
+    pruned = magnitude_prune(weights, 0.6)
+    assert pruned[1] == -5.0
+    assert pruned[3] == 3.0
+    assert pruned[2] == 0.0
+
+
+def test_zero_sparsity_is_identity(rng):
+    weights = rng.standard_normal(50)
+    assert np.array_equal(magnitude_prune(weights, 0.0), weights)
+
+
+def test_does_not_mutate_input(rng):
+    weights = rng.standard_normal(50)
+    original = weights.copy()
+    magnitude_prune(weights, 0.5)
+    assert np.array_equal(weights, original)
+
+
+def test_preserves_shape(rng):
+    weights = rng.standard_normal((4, 3, 3, 3))
+    assert magnitude_prune(weights, 0.5).shape == weights.shape
+
+
+def test_rejects_out_of_range():
+    with pytest.raises(ConfigurationError):
+        magnitude_prune(np.ones(4), 1.0)
+    with pytest.raises(ConfigurationError):
+        magnitude_prune(np.ones(4), -0.1)
+
+
+def test_sparsity_of_empty():
+    assert sparsity_of(np.zeros(0)) == 0.0
+
+
+def test_sparsity_of_counts_exact_zeros():
+    assert sparsity_of(np.array([0.0, 1.0, 0.0, 2.0])) == 0.5

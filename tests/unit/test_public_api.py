@@ -1,0 +1,53 @@
+"""Public API surface: every advertised name resolves.
+
+Guards against stale ``__all__`` entries as modules evolve — the kind of
+rot that makes an open-source release embarrassing to import.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analytical",
+    "repro.config",
+    "repro.engine",
+    "repro.experiments",
+    "repro.frontend",
+    "repro.frontend.models",
+    "repro.memory",
+    "repro.noc",
+    "repro.opts",
+    "repro.tensors",
+    "repro.ui",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{package} should declare __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.{name} is advertised but missing"
+
+
+def test_top_level_quickstart_names():
+    import repro
+
+    for name in ("Accelerator", "maeri_like", "sigma_like", "tpu_like",
+                 "CreateInstance", "TileConfig", "load_config"):
+        assert name in repro.__all__
+
+
+def test_version_is_consistent():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_console_script_entry_point():
+    from repro.ui.cli import main
+
+    assert callable(main)

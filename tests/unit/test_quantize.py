@@ -1,0 +1,107 @@
+"""Low-precision datatype emulation."""
+
+import numpy as np
+import pytest
+
+from repro.config.hardware import DataType
+from repro.tensors.quantize import (
+    quantize,
+    quantize_fp8,
+    quantize_int8,
+    quantize_model,
+)
+
+
+class TestInt8:
+    def test_round_trip_error_bounded(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32)
+        q, info = quantize_int8(x)
+        assert info.max_abs_error <= info.scale / 2 + 1e-7
+        assert np.abs(q - x).max() <= info.scale / 2 + 1e-7
+
+    def test_preserves_extremes(self):
+        x = np.array([-2.0, 0.0, 2.0], dtype=np.float32)
+        q, info = quantize_int8(x)
+        assert q[0] == pytest.approx(-2.0, rel=0.01)
+        assert q[2] == pytest.approx(2.0, rel=0.01)
+        assert q[1] == 0.0
+
+    def test_at_most_255_levels(self, rng):
+        x = rng.standard_normal(5000).astype(np.float32)
+        q, _ = quantize_int8(x)
+        assert len(np.unique(q)) <= 255
+
+    def test_zero_tensor(self):
+        q, info = quantize_int8(np.zeros(8, dtype=np.float32))
+        assert np.all(q == 0) and info.max_abs_error == 0.0
+
+
+class TestFp8:
+    def test_relative_error_bounded(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32)
+        q, _ = quantize_fp8(x)
+        nonzero = np.abs(x) > 2 ** -6
+        rel = np.abs(q[nonzero] - x[nonzero]) / np.abs(x[nonzero])
+        assert rel.max() <= 2 ** -4 + 1e-6  # half ULP of a 3-bit mantissa
+
+    def test_saturation(self):
+        q, _ = quantize_fp8(np.array([1e6, -1e6], dtype=np.float32))
+        assert q[0] <= 448.0 and q[1] >= -448.0
+
+    def test_subnormal_flush(self):
+        q, _ = quantize_fp8(np.array([1e-5], dtype=np.float32))
+        assert q[0] == 0.0
+
+    def test_powers_of_two_exact(self):
+        x = np.array([0.5, 1.0, 2.0, 4.0], dtype=np.float32)
+        q, info = quantize_fp8(x)
+        assert np.array_equal(q, x)
+        assert info.max_abs_error == 0.0
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("dtype", list(DataType))
+    def test_all_datatypes_supported(self, dtype, rng):
+        x = rng.standard_normal(64).astype(np.float32)
+        q, info = quantize(x, dtype)
+        assert q.dtype == np.float32
+        assert info.dtype is dtype
+
+    def test_fp32_is_identity(self, rng):
+        x = rng.standard_normal(64).astype(np.float32)
+        q, info = quantize(x, DataType.FP32)
+        assert np.array_equal(q, x)
+        assert info.max_abs_error == 0.0
+
+    def test_fp16_is_cast(self, rng):
+        x = rng.standard_normal(64).astype(np.float32)
+        q, _ = quantize(x, DataType.FP16)
+        assert np.array_equal(q, x.astype(np.float16).astype(np.float32))
+
+
+class TestQuantizeModel:
+    def test_quantizes_compute_layers(self, rng):
+        from repro.frontend.layers import Conv2d, Linear, ReLU
+        from repro.frontend.module import Sequential
+
+        model = Sequential(Conv2d(2, 4, 3, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        count = quantize_model(model, DataType.INT8)
+        assert count == 2
+        levels = np.unique(model[0].weight.data)
+        assert len(levels) <= 255
+
+    def test_quantized_model_still_validates_on_simulator(self, rng):
+        from repro.config import maeri_like
+        from repro.engine.accelerator import Accelerator
+        from repro.frontend.models import build_model, model_input
+        from repro.frontend.simulated import detach_context, simulate
+
+        model = build_model("squeezenet", seed=0)
+        quantize_model(model, DataType.FP8)
+        x = model_input("squeezenet", batch=1, seed=1)
+        native = model(x)
+        acc = Accelerator(maeri_like(64, 32, dtype=DataType.FP8))
+        simulate(model, acc)
+        simulated = model(x)
+        detach_context(model)
+        assert np.allclose(simulated, native, atol=1e-2, rtol=1e-3)

@@ -1,0 +1,133 @@
+"""Reduction networks: cluster flexibility, latency and activity."""
+
+import pytest
+
+from repro.config.hardware import ReductionKind
+from repro.errors import ConfigurationError, MappingError
+from repro.noc.reduction import (
+    AugmentedReductionTree,
+    ForwardingAdderNetwork,
+    LinearReductionNetwork,
+    ReductionTree,
+    build_reduction_network,
+)
+
+
+class TestReductionTree:
+    def test_only_uniform_power_of_two_clusters(self):
+        rt = ReductionTree(16, 8)
+        rt.configure_clusters([4, 4, 4, 4])
+        with pytest.raises(MappingError):
+            rt.configure_clusters([3, 3])
+        with pytest.raises(MappingError):
+            rt.configure_clusters([4, 8])
+
+    def test_latency_is_tree_depth(self):
+        rt = ReductionTree(16, 8)
+        assert rt.reduction_latency(8) == 3
+        assert rt.reduction_latency(1) == 0
+
+    def test_pipelined(self):
+        assert ReductionTree(16, 8).pipelined
+
+    def test_adder_count(self):
+        assert ReductionTree(16, 8).num_adders == 15
+
+
+class TestArt:
+    def test_variable_clusters_accepted(self):
+        art = AugmentedReductionTree(16, 8)
+        art.configure_clusters([5, 3, 7])
+        assert art.cluster_sizes == (5, 3, 7)
+
+    def test_accumulators_add_latency(self):
+        plain = AugmentedReductionTree(16, 8, accumulate=False)
+        acc = AugmentedReductionTree(16, 8, accumulate=True)
+        assert acc.reduction_latency(8) == plain.reduction_latency(8) + 1
+        assert acc.has_accumulators and not plain.has_accumulators
+
+    def test_three_to_one_adders(self):
+        assert AugmentedReductionTree(16, 8).adder_fan_in == 3
+
+
+class TestFan:
+    def test_two_to_one_adders_with_accumulators(self):
+        fan = ForwardingAdderNetwork(16, 8)
+        assert fan.adder_fan_in == 2
+        assert fan.has_accumulators
+        assert fan.variable_clusters
+
+    def test_variable_clusters(self):
+        fan = ForwardingAdderNetwork(16, 8)
+        fan.configure_clusters([1, 6, 9])
+
+
+class TestLinear:
+    def test_serial_latency(self):
+        lrn = LinearReductionNetwork(16, 8)
+        assert lrn.reduction_latency(8) == 8
+        assert not lrn.pipelined
+
+    def test_uniform_clusters_only(self):
+        lrn = LinearReductionNetwork(16, 8)
+        lrn.configure_clusters([4, 4])
+        with pytest.raises(MappingError):
+            lrn.configure_clusters([4, 2])
+
+    def test_one_accumulator_per_input(self):
+        assert LinearReductionNetwork(16, 8).num_adders == 16
+
+
+class TestCommon:
+    def test_capacity_enforced(self):
+        art = AugmentedReductionTree(8, 4)
+        with pytest.raises(MappingError):
+            art.configure_clusters([5, 5])
+
+    def test_wave_accounting(self):
+        art = AugmentedReductionTree(16, 8)
+        art.record_reduction_wave([4, 4])
+        # ART charges its 3:1 adder switches under a dedicated counter
+        assert art.counters["rn_adder_ops_3to1"] == 6  # (4-1) x 2
+        assert art.counters["rn_wire_traversals"] == 14  # (2*4-1) x 2
+
+    def test_adder_counter_per_topology(self):
+        assert AugmentedReductionTree(8, 4).adder_counter == "rn_adder_ops_3to1"
+        assert ForwardingAdderNetwork(8, 4).adder_counter == "rn_adder_ops"
+        fan = ForwardingAdderNetwork(8, 4)
+        fan.record_reduction_wave([4])
+        assert fan.counters["rn_adder_ops"] == 3
+
+    def test_output_cycles(self):
+        art = AugmentedReductionTree(16, 4)
+        assert art.output_cycles(0) == 0
+        assert art.output_cycles(4) == 1
+        assert art.output_cycles(5) == 2
+
+    def test_accumulation_and_output_counters(self):
+        fan = ForwardingAdderNetwork(16, 8)
+        fan.record_accumulations(10)
+        fan.record_outputs(6)
+        assert fan.counters["rn_accumulator_ops"] == 10
+        assert fan.counters["rn_outputs_written"] == 6
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            ReductionTree(16, 0)
+
+    @pytest.mark.parametrize(
+        "kind, cls",
+        [
+            (ReductionKind.RT, ReductionTree),
+            (ReductionKind.ART, AugmentedReductionTree),
+            (ReductionKind.ART_ACC, AugmentedReductionTree),
+            (ReductionKind.FAN, ForwardingAdderNetwork),
+            (ReductionKind.LINEAR, LinearReductionNetwork),
+        ],
+    )
+    def test_factory(self, kind, cls):
+        assert isinstance(build_reduction_network(kind, 16, 8), cls)
+
+    def test_factory_art_acc_always_accumulates(self):
+        rn = build_reduction_network(ReductionKind.ART_ACC, 16, 8, accumulation_buffer=False)
+        assert rn.has_accumulators

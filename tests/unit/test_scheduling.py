@@ -1,0 +1,122 @@
+"""Filter scheduling policies (use case 3)."""
+
+import numpy as np
+import pytest
+
+from repro.opts.scheduling import (
+    SchedulingPolicy,
+    largest_filter_first_rounds,
+    natural_order_rounds,
+    policy_round_builder,
+    random_rounds,
+)
+
+
+def _round_sizes(rounds):
+    return [sum(chunk.length for chunk in chunks) for chunks in rounds]
+
+
+def _coverage(rounds):
+    covered = {}
+    for chunks in rounds:
+        for chunk in chunks:
+            covered[chunk.row] = covered.get(chunk.row, 0) + chunk.length
+    return covered
+
+
+class TestLff:
+    def test_fig8_example(self):
+        """The paper's Fig. 8: LFF pairs {F0,F2} and {F1,F3}."""
+        rounds = largest_filter_first_rounds(np.array([4, 2, 4, 2]), capacity=8)
+        assert len(rounds) == 2
+        assert {c.row for c in rounds[0]} == {0, 2}
+        assert {c.row for c in rounds[1]} == {1, 3}
+
+    def test_never_more_rounds_than_natural(self, rng):
+        for seed in range(5):
+            sizes = np.random.default_rng(seed).integers(1, 60, size=40)
+            ns = natural_order_rounds(sizes, 128)
+            lff = largest_filter_first_rounds(sizes, 128)
+            assert len(lff) <= len(ns)
+
+    def test_fills_rounds_greedily(self):
+        rounds = largest_filter_first_rounds(np.array([10, 6, 5, 4, 3]), 16)
+        # round 1: 10 + 6; round 2: 5 + 4 + 3
+        assert _round_sizes(rounds) == [16, 12]
+
+    def test_full_coverage(self, rng):
+        sizes = rng.integers(0, 50, size=30)
+        covered = _coverage(largest_filter_first_rounds(sizes, 64))
+        for row, nnz in enumerate(sizes):
+            assert covered.get(row, 0) == nnz
+
+    def test_oversized_rows_fold_first(self):
+        rounds = largest_filter_first_rounds(np.array([100, 5, 5]), 32)
+        assert _round_sizes(rounds)[0] == 32
+        covered = _coverage(rounds)
+        assert covered[0] == 100
+
+    def test_remainder_chunks_pack_with_small_filters(self):
+        rounds = largest_filter_first_rounds(np.array([40, 20]), 32)
+        # 32-chunk round, then the 8-remainder packs with the 20-filter
+        assert len(rounds) == 2
+        assert {c.row for c in rounds[1]} == {0, 1}
+
+
+class TestRdm:
+    def test_is_a_permutation(self, rng):
+        sizes = rng.integers(1, 20, size=25)
+        covered = _coverage(random_rounds(sizes, 64, seed=3))
+        for row, nnz in enumerate(sizes):
+            assert covered.get(row, 0) == nnz
+
+    def test_seeded_determinism(self, rng):
+        sizes = rng.integers(1, 20, size=25)
+        a = random_rounds(sizes, 64, seed=3)
+        b = random_rounds(sizes, 64, seed=3)
+        assert [[c.row for c in r] for r in a] == [[c.row for c in r] for r in b]
+
+    def test_different_seed_differs(self, rng):
+        sizes = rng.integers(1, 20, size=50)
+        a = random_rounds(sizes, 64, seed=1)
+        b = random_rounds(sizes, 64, seed=2)
+        assert [[c.row for c in r] for r in a] != [[c.row for c in r] for r in b]
+
+
+class TestPolicyFactory:
+    def test_ns_is_controller_default(self):
+        assert policy_round_builder(SchedulingPolicy.NS) is None
+
+    def test_rdm_builder_seeded(self, rng):
+        builder = policy_round_builder(SchedulingPolicy.RDM, seed=4)
+        sizes = rng.integers(1, 10, size=10)
+        assert builder(sizes, 32) == random_rounds(sizes, 32, seed=4)
+
+    def test_lff_builder(self):
+        builder = policy_round_builder(SchedulingPolicy.LFF)
+        assert builder is largest_filter_first_rounds
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            policy_round_builder("nope")
+
+
+class TestEndToEnd:
+    def test_lff_never_slower_on_heterogeneous_rows(self):
+        from repro.config import sigma_like
+        from repro.engine.accelerator import Accelerator
+
+        rng = np.random.default_rng(0)
+        # heterogeneous effective filter sizes
+        rows = []
+        for size in rng.integers(2, 30, size=24):
+            row = np.zeros(64, dtype=np.float32)
+            row[rng.choice(64, size=size, replace=False)] = 1.0
+            rows.append(row)
+        matrix = np.stack(rows)
+
+        def run(builder):
+            acc = Accelerator(sigma_like(num_ms=32, bandwidth=16))
+            return acc.sparse_controller.run_spmm(matrix, 16, builder).cycles
+
+        assert run(largest_filter_first_rounds) <= run(None)

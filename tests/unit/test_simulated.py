@@ -1,0 +1,116 @@
+"""Offloading glue: SimulationContext and the Simulated* layers."""
+
+import numpy as np
+import pytest
+
+from repro.config import maeri_like, sigma_like
+from repro.engine.accelerator import Accelerator
+from repro.errors import ConfigurationError
+from repro.frontend.layers import Conv2d, Linear, MaxPool2d, ReLU
+from repro.frontend.module import Sequential
+from repro.frontend.simulated import (
+    SimulatedConv2d,
+    SimulatedLinear,
+    SimulatedMaxPool2d,
+    SimulationContext,
+    attach_context,
+    detach_context,
+    simulate,
+)
+
+
+@pytest.fixture
+def model(rng):
+    return Sequential(
+        Conv2d(2, 4, 3, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(4, 4, 1, rng=rng),
+        name="mini",
+    )
+
+
+def test_attach_offloads_every_layer(model, rng):
+    acc = Accelerator(maeri_like(32, 8))
+    x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+    native = model(x)
+    simulate(model, acc)
+    simulated = model(x)
+    assert np.allclose(simulated, native, atol=1e-3)
+    kinds = [layer.kind for layer in acc.report.layers]
+    assert kinds == ["conv", "maxpool", "conv"]
+
+
+def test_detach_restores_native(model, rng):
+    acc = Accelerator(maeri_like(32, 8))
+    simulate(model, acc)
+    detach_context(model)
+    x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+    model(x)
+    assert acc.report.total_cycles == 0
+
+
+def test_layer_names_are_sequential(model, rng):
+    acc = Accelerator(maeri_like(32, 8))
+    simulate(model, acc)
+    model(rng.standard_normal((1, 2, 8, 8)).astype(np.float32))
+    names = [layer.name for layer in acc.report.layers]
+    assert names[0].startswith("001-") and names[1].startswith("002-")
+
+
+def test_linear_offload_handles_3d_input(rng):
+    acc = Accelerator(maeri_like(32, 8))
+    layer = Linear(8, 4, rng=rng)
+    attach_context(layer, SimulationContext(acc))
+    x = rng.standard_normal((2, 5, 8)).astype(np.float32)
+    out = layer(x)
+    detach_context(layer)
+    assert out.shape == (2, 5, 4)
+    assert np.allclose(out, layer(x), atol=1e-3)
+
+
+def test_sparse_context_uses_spmm(rng):
+    acc = Accelerator(sigma_like(32, 16))
+    layer = Linear(8, 4, rng=rng)
+    context = SimulationContext(acc)
+    assert context.is_sparse
+    attach_context(layer, context)
+    layer(rng.standard_normal((2, 8)).astype(np.float32))
+    assert acc.report.layers[0].kind == "spmm"
+
+
+def test_context_matmul(rng):
+    acc = Accelerator(maeri_like(32, 8))
+    context = SimulationContext(acc)
+    a = rng.standard_normal((4, 8)).astype(np.float32)
+    b = rng.standard_normal((8, 4)).astype(np.float32)
+    assert np.allclose(context.matmul(a, b), a @ b, atol=1e-4)
+    assert acc.report.layers[0].kind == "gemm"
+
+
+class TestSimulatedLayers:
+    def test_simulated_conv_requires_context(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedConv2d("not-a-context", 2, 4, 3)
+
+    def test_simulated_layers_run_through_simulator(self, rng):
+        acc = Accelerator(maeri_like(32, 8))
+        context = SimulationContext(acc)
+        model = Sequential(
+            SimulatedConv2d(context, 2, 4, 3, rng=rng),
+            SimulatedMaxPool2d(context, 2),
+            SimulatedLinear(context, 4 * 3 * 3, 2, rng=rng),
+        )
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        conv_out = model[0](x)
+        pooled = model[1](conv_out)
+        model[2](pooled.reshape(1, -1))
+        assert len(acc.report.layers) == 3
+
+    def test_simulated_linear_requires_context(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedLinear(None, 4, 2)
+
+    def test_simulated_maxpool_requires_context(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedMaxPool2d(42, 2)

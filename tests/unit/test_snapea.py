@@ -1,0 +1,215 @@
+"""SNAPEA early termination (use case 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frontend.layers import Conv2d, Linear
+from repro.frontend.simulated import attach_context, detach_context
+from repro.opts.snapea import SnapeaContext, snapea_energy_uj
+
+
+@pytest.fixture
+def conv(rng):
+    return Conv2d(4, 8, 3, rng=rng)
+
+
+class TestTermination:
+    def test_exactness_preserved(self, conv, rng):
+        """SNAPEA cuts computation but outputs stay exact."""
+        x = np.abs(rng.standard_normal((1, 4, 8, 8))).astype(np.float32)
+        native = conv(x)
+        ctx = SnapeaContext(early_termination=True)
+        attach_context(conv, ctx)
+        simulated = conv(x)
+        detach_context(conv)
+        assert np.allclose(simulated, native, atol=1e-3)
+
+    def test_saves_ops_on_nonnegative_inputs(self, conv, rng):
+        x = np.abs(rng.standard_normal((1, 4, 8, 8))).astype(np.float32)
+        ctx = SnapeaContext(early_termination=True)
+        attach_context(conv, ctx)
+        conv(x)
+        detach_context(conv)
+        layer = ctx.layers[0]
+        assert layer.ops < layer.dense_ops
+        assert layer.terminated_outputs > 0
+
+    def test_no_termination_on_signed_inputs(self, conv, rng):
+        """The sign argument needs non-negative inputs (first conv layer)."""
+        x = rng.standard_normal((1, 4, 8, 8)).astype(np.float32)
+        ctx = SnapeaContext(early_termination=True)
+        attach_context(conv, ctx)
+        conv(x)
+        detach_context(conv)
+        layer = ctx.layers[0]
+        assert layer.ops == layer.dense_ops
+
+    def test_baseline_never_terminates(self, conv, rng):
+        x = np.abs(rng.standard_normal((1, 4, 8, 8))).astype(np.float32)
+        ctx = SnapeaContext(early_termination=False)
+        attach_context(conv, ctx)
+        conv(x)
+        detach_context(conv)
+        assert ctx.layers[0].ops == ctx.layers[0].dense_ops
+
+    def test_snapea_faster_than_baseline(self, conv, rng):
+        x = np.abs(rng.standard_normal((1, 4, 8, 8))).astype(np.float32)
+        cycles = {}
+        for early in (False, True):
+            ctx = SnapeaContext(early_termination=early)
+            attach_context(conv, ctx)
+            conv(x)
+            detach_context(conv)
+            cycles[early] = ctx.total_cycles
+        assert cycles[True] < cycles[False]
+
+    def test_negative_bias_terminates_earlier(self, rng):
+        x = np.abs(rng.standard_normal((1, 4, 8, 8))).astype(np.float32)
+        ops = {}
+        for bias_value in (0.0, -5.0):
+            conv = Conv2d(4, 8, 3, rng=np.random.default_rng(1))
+            conv.bias.data[:] = bias_value
+            ctx = SnapeaContext(early_termination=True)
+            attach_context(conv, ctx)
+            conv(x)
+            detach_context(conv)
+            ops[bias_value] = ctx.total_ops
+        assert ops[-5.0] < ops[0.0]
+
+
+class TestOtherOps:
+    def test_linear_runs_dense(self, rng):
+        layer = Linear(16, 4, rng=rng)
+        ctx = SnapeaContext()
+        attach_context(layer, ctx)
+        x = np.abs(rng.standard_normal((2, 16))).astype(np.float32)
+        out = layer(x)
+        detach_context(layer)
+        assert np.allclose(out, layer(x), atol=1e-4)
+        assert ctx.layers[0].ops == ctx.layers[0].dense_ops
+
+    def test_matmul_counts(self, rng):
+        ctx = SnapeaContext()
+        a = rng.standard_normal((4, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 4)).astype(np.float32)
+        out = ctx.matmul(a, b)
+        assert np.allclose(out, a @ b, atol=1e-4)
+        assert ctx.layers[0].ops == 4 * 8 * 4
+
+
+class TestDataDependence:
+    """The paper's core argument: these optimizations need *real values*."""
+
+    def test_termination_depends_on_the_input(self, conv, rng):
+        """Different inputs produce different termination work — exactly
+        what an analytical model cannot capture."""
+        ops = []
+        for seed in range(3):
+            x = np.abs(
+                np.random.default_rng(seed).standard_normal((1, 4, 8, 8))
+            ).astype(np.float32)
+            ctx = SnapeaContext(early_termination=True)
+            attach_context(conv, ctx)
+            conv(x)
+            detach_context(conv)
+            ops.append(ctx.total_ops)
+        assert len(set(ops)) > 1
+
+    def test_termination_depends_on_the_weights(self, rng):
+        x = np.abs(rng.standard_normal((1, 4, 8, 8))).astype(np.float32)
+        ops = []
+        for seed in range(3):
+            conv = Conv2d(4, 8, 3, rng=np.random.default_rng(seed))
+            ctx = SnapeaContext(early_termination=True)
+            attach_context(conv, ctx)
+            conv(x)
+            detach_context(conv)
+            ops.append(ctx.total_ops)
+        assert len(set(ops)) > 1
+
+    def test_baseline_is_input_independent(self, conv):
+        """Without the data-dependent logic, timing is shape-only."""
+        ops = []
+        for seed in range(3):
+            x = np.abs(
+                np.random.default_rng(seed).standard_normal((1, 4, 8, 8))
+            ).astype(np.float32)
+            ctx = SnapeaContext(early_termination=False)
+            attach_context(conv, ctx)
+            conv(x)
+            detach_context(conv)
+            ops.append(ctx.total_ops)
+        assert len(set(ops)) == 1
+
+
+class TestPredictiveMode:
+    def _run(self, conv, x, **kwargs):
+        ctx = SnapeaContext(early_termination=True, **kwargs)
+        attach_context(conv, ctx)
+        out = conv(x)
+        detach_context(conv)
+        return ctx, out
+
+    def test_zero_threshold_is_conservative(self, conv, rng):
+        x = np.abs(rng.standard_normal((1, 4, 8, 8))).astype(np.float32)
+        exact, out_exact = self._run(conv, x, mode="exact")
+        predictive, out_pred = self._run(conv, x, mode="predictive",
+                                         threshold=0.0)
+        assert predictive.total_ops <= exact.total_ops
+        assert predictive.mispredicted_outputs >= 0
+
+    def test_higher_threshold_cuts_more(self, conv, rng):
+        x = np.abs(rng.standard_normal((1, 4, 8, 8))).astype(np.float32)
+        low, _ = self._run(conv, x, mode="predictive", threshold=0.0)
+        high, _ = self._run(conv, x, mode="predictive", threshold=5.0)
+        assert high.total_ops < low.total_ops
+
+    def test_predicted_outputs_become_zero_after_bias_and_relu(self, conv, rng):
+        from repro.frontend import functional as F
+
+        x = np.abs(rng.standard_normal((1, 4, 8, 8))).astype(np.float32)
+        ctx, out = self._run(conv, x, mode="predictive", threshold=5.0)
+        post = F.relu(out)
+        # aggressive prediction zeroes many activations but never NaNs
+        assert np.isfinite(post).all()
+        assert ctx.mispredicted_outputs <= out.size
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnapeaContext(mode="clairvoyant")
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnapeaContext(mode="predictive", threshold=-1.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnapeaContext(window_fraction=0.0)
+
+
+class TestStatsAndEnergy:
+    def test_lane_makespan_bounds_cycles(self, conv, rng):
+        x = np.abs(rng.standard_normal((1, 4, 8, 8))).astype(np.float32)
+        ctx = SnapeaContext(num_pes=64, early_termination=False)
+        attach_context(conv, ctx)
+        conv(x)
+        detach_context(conv)
+        layer = ctx.layers[0]
+        # at least total_ops / num_pes cycles
+        assert layer.cycles >= layer.ops / 64
+
+    def test_energy_components(self):
+        assert snapea_energy_uj(0, 0, 0) == 0.0
+        with_ops = snapea_energy_uj(1000, 0, 0)
+        with_mem = snapea_energy_uj(0, 1000, 0)
+        assert with_mem > with_ops  # a fetch costs more than a MAC
+
+    def test_sign_check_overhead_counted(self):
+        without = snapea_energy_uj(1000, 1000, 100, sign_checks=0)
+        with_checks = snapea_energy_uj(1000, 1000, 100, sign_checks=1000)
+        assert with_checks > without
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            SnapeaContext(num_pes=0)

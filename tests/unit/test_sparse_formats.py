@@ -1,0 +1,103 @@
+"""Bitmap / CSR compression formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tensors.sparse import BitmapMatrix, CsrMatrix, from_dense, to_dense
+
+
+@pytest.fixture
+def sparse_dense(rng):
+    dense = rng.standard_normal((6, 10)).astype(np.float32)
+    dense[np.abs(dense) < 0.8] = 0.0
+    return dense
+
+
+class TestBitmap:
+    def test_round_trip(self, sparse_dense):
+        compressed = from_dense(sparse_dense, "bitmap")
+        assert isinstance(compressed, BitmapMatrix)
+        assert np.array_equal(to_dense(compressed), sparse_dense)
+
+    def test_nnz(self, sparse_dense):
+        compressed = from_dense(sparse_dense, "bitmap")
+        assert compressed.nnz == np.count_nonzero(sparse_dense)
+
+    def test_row_nnz(self, sparse_dense):
+        compressed = from_dense(sparse_dense, "bitmap")
+        expected = (sparse_dense != 0).sum(axis=1)
+        assert np.array_equal(compressed.row_nnz(), expected)
+
+    def test_metadata_is_one_bit_per_element(self, sparse_dense):
+        compressed = from_dense(sparse_dense, "bitmap")
+        assert compressed.metadata_bits() == sparse_dense.size
+
+    def test_validates_value_count(self):
+        with pytest.raises(ConfigurationError):
+            BitmapMatrix(
+                bitmap=np.ones((2, 2), dtype=np.uint8),
+                values=np.ones(3, dtype=np.float32),
+                shape=(2, 2),
+            )
+
+
+class TestCsr:
+    def test_round_trip(self, sparse_dense):
+        compressed = from_dense(sparse_dense, "csr")
+        assert isinstance(compressed, CsrMatrix)
+        assert np.array_equal(to_dense(compressed), sparse_dense)
+
+    def test_row_access(self, sparse_dense):
+        compressed = from_dense(sparse_dense, "csr")
+        cols, vals = compressed.row(0)
+        assert np.array_equal(cols, np.nonzero(sparse_dense[0])[0])
+        assert np.array_equal(vals, sparse_dense[0][sparse_dense[0] != 0])
+
+    def test_row_nnz_matches_indptr(self, sparse_dense):
+        compressed = from_dense(sparse_dense, "csr")
+        assert np.array_equal(
+            compressed.row_nnz(), np.diff(compressed.indptr)
+        )
+
+    def test_all_zero_matrix(self):
+        compressed = from_dense(np.zeros((3, 4), dtype=np.float32), "csr")
+        assert compressed.nnz == 0
+        assert np.array_equal(to_dense(compressed), np.zeros((3, 4)))
+
+    def test_validates_indptr_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CsrMatrix(
+                indptr=np.array([0, 5]),
+                indices=np.array([0]),
+                values=np.array([1.0]),
+                shape=(1, 3),
+            )
+
+    def test_validates_column_range(self):
+        with pytest.raises(ConfigurationError):
+            CsrMatrix(
+                indptr=np.array([0, 1]),
+                indices=np.array([7]),
+                values=np.array([1.0]),
+                shape=(1, 3),
+            )
+
+    def test_validates_monotone_indptr(self):
+        with pytest.raises(ConfigurationError):
+            CsrMatrix(
+                indptr=np.array([0, 2, 1, 3]),
+                indices=np.array([0, 1, 2]),
+                values=np.ones(3),
+                shape=(3, 3),
+            )
+
+
+def test_unknown_format_rejected(sparse_dense):
+    with pytest.raises(ConfigurationError):
+        from_dense(sparse_dense, "coo")
+
+
+def test_non_2d_rejected(rng):
+    with pytest.raises(ConfigurationError):
+        from_dense(rng.standard_normal((2, 3, 4)), "bitmap")

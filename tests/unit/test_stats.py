@@ -1,0 +1,113 @@
+"""Output module: JSON summary and counter-file round trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import maeri_like
+from repro.engine.accelerator import Accelerator
+from repro.engine.stats import parse_counter_file
+
+
+def _run_accelerator(rng):
+    acc = Accelerator(maeri_like(32, 8))
+    a = rng.standard_normal((8, 16)).astype(np.float32)
+    b = rng.standard_normal((16, 4)).astype(np.float32)
+    acc.run_gemm(a, b, name="stats-gemm")
+    return acc
+
+
+def test_json_summary_structure(rng):
+    acc = _run_accelerator(rng)
+    payload = json.loads(acc.report.to_json())
+    assert payload["accelerator"] == "maeri-like"
+    assert payload["total_cycles"] > 0
+    assert payload["total_macs"] == 8 * 16 * 4
+    assert "energy_uj" in payload and "area_um2" in payload
+    assert payload["layers"][0]["name"] == "stats-gemm"
+
+
+def test_json_written_to_disk(rng, tmp_path):
+    acc = _run_accelerator(rng)
+    path = tmp_path / "stats.json"
+    acc.report.to_json(path)
+    assert json.loads(path.read_text())["total_cycles"] > 0
+
+
+def test_counter_file_round_trip(rng, tmp_path):
+    acc = _run_accelerator(rng)
+    path = tmp_path / "counters.txt"
+    text = acc.report.to_counter_file(path)
+    assert path.read_text() == text
+    restored = parse_counter_file(text)
+    merged = acc.report.merged_counters()
+    assert restored.as_dict() == merged.as_dict()
+
+
+def test_counter_file_format(rng):
+    acc = _run_accelerator(rng)
+    lines = acc.report.to_counter_file().splitlines()
+    assert lines[0].startswith("#")
+    data_lines = [line for line in lines if not line.startswith("#")]
+    assert all(" = " in line and "." in line.split(" = ")[0] for line in data_lines)
+
+
+def test_per_layer_reports_accumulate(rng):
+    acc = Accelerator(maeri_like(32, 8))
+    a = rng.standard_normal((8, 16)).astype(np.float32)
+    b = rng.standard_normal((16, 4)).astype(np.float32)
+    acc.run_gemm(a, b, name="first")
+    acc.run_gemm(a, b, name="second")
+    assert [layer.name for layer in acc.report.layers] == ["first", "second"]
+    assert acc.report.total_cycles == sum(l.cycles for l in acc.report.layers)
+    # identical layers produce identical per-layer counter deltas, except
+    # for DRAM row-buffer locality, which legitimately carries state over
+    first, second = acc.report.layers
+
+    def without_row_state(counters):
+        return {
+            k: v for k, v in counters.as_dict().items()
+            if k not in ("dram_row_hits", "dram_row_misses")
+        }
+
+    assert without_row_state(first.counters) == without_row_state(second.counters)
+
+
+def test_timeline_windows_are_contiguous(rng):
+    acc = Accelerator(maeri_like(32, 8))
+    a = rng.standard_normal((8, 16)).astype(np.float32)
+    b = rng.standard_normal((16, 4)).astype(np.float32)
+    acc.run_gemm(a, b, name="first")
+    acc.run_gemm(a, b, name="second")
+    timeline = acc.report.timeline()
+    assert timeline[0]["start_cycle"] == 0
+    assert timeline[0]["end_cycle"] == timeline[1]["start_cycle"]
+    assert timeline[-1]["end_cycle"] == acc.report.total_cycles
+    assert sum(row["share"] for row in timeline) == pytest.approx(1.0)
+
+
+def test_component_utilization(rng):
+    acc = _run_accelerator(rng)
+    usage = acc.report.component_utilization()
+    assert 0 < usage["multiplier_utilization"] <= 1
+    assert 0 <= usage["dn_port_occupancy"] <= 1
+    assert 0 <= usage["gb_read_port_occupancy"] <= 1
+    # the JSON summary carries the same figures
+    payload = json.loads(acc.report.to_json())
+    assert payload["utilization"] == usage
+
+
+def test_component_utilization_empty_report():
+    from repro.engine.stats import SimulationReport
+
+    assert SimulationReport(maeri_like(32, 8)).component_utilization() == {}
+
+
+def test_layer_energy_priced_per_layer(rng):
+    acc = _run_accelerator(rng)
+    layer = acc.report.layers[0]
+    energy = layer.energy(acc.config)
+    assert energy.total_uj > 0
+    record = layer.as_dict(acc.config)
+    assert record["energy_uj"]["total"] > 0

@@ -1,0 +1,115 @@
+"""Output-stationary systolic engine: functional and timing correctness."""
+
+import numpy as np
+import pytest
+
+from repro.config import tpu_like
+from repro.engine.accelerator import Accelerator
+from repro.engine.systolic import PIPE_OVERHEAD
+from repro.errors import ConfigurationError, MappingError
+
+
+def _engine(num_pes=16):
+    return Accelerator(tpu_like(num_pes=num_pes)).systolic
+
+
+class TestCycleByCycle:
+    def test_matches_matmul(self, rng):
+        engine = _engine(16)
+        a = rng.standard_normal((4, 7)).astype(np.float32)
+        b = rng.standard_normal((7, 3)).astype(np.float32)
+        out, cycles = engine.simulate_tile_cycle_by_cycle(a, b)
+        assert np.allclose(out, a @ b, atol=1e-4)
+        assert cycles == engine.tile_cycles(4, 7, 3)
+
+    def test_full_array(self, rng):
+        engine = _engine(16)
+        a = rng.standard_normal((4, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 4)).astype(np.float32)
+        out, _ = engine.simulate_tile_cycle_by_cycle(a, b)
+        assert np.allclose(out, a @ b, atol=1e-4)
+
+    def test_rejects_oversized_tile(self, rng):
+        engine = _engine(16)  # 4x4 array
+        with pytest.raises(MappingError):
+            engine.simulate_tile_cycle_by_cycle(
+                rng.standard_normal((5, 3)), rng.standard_normal((3, 2))
+            )
+
+
+class TestTileCycles:
+    def test_wavefront_formula(self):
+        engine = _engine(256)
+        assert engine.tile_cycles(16, 32, 16) == 32 + 16 + 16 - 2 + PIPE_OVERHEAD
+
+    @pytest.mark.parametrize(
+        "m, n, k, rtl",
+        [(16, 16, 32, 66), (16, 16, 16, 50), (32, 32, 16, 200), (64, 64, 32, 1056)],
+    )
+    def test_table_v_tpu_rows_exact(self, m, n, k, rtl, rng):
+        """The four TPU validation rows of Table V reproduce exactly."""
+        engine = _engine(256)  # 16x16 array
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        _, result = engine.run_gemm(a, b)
+        assert result.cycles == rtl
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(MappingError):
+            _engine(16).tile_cycles(5, 3, 2)
+        with pytest.raises(MappingError):
+            _engine(16).tile_cycles(2, 0, 2)
+
+
+class TestRunGemm:
+    def test_functional(self, rng):
+        engine = _engine(16)
+        a = rng.standard_normal((10, 20)).astype(np.float32)
+        b = rng.standard_normal((20, 6)).astype(np.float32)
+        out, result = engine.run_gemm(a, b)
+        assert np.allclose(out, a @ b, atol=1e-3)
+        assert result.macs == 10 * 20 * 6
+        assert result.outputs == 60
+
+    def test_tiling(self, rng):
+        engine = _engine(16)  # 4x4
+        a = rng.standard_normal((9, 5)).astype(np.float32)
+        b = rng.standard_normal((5, 9)).astype(np.float32)
+        _, result = engine.run_gemm(a, b)
+        assert result.tiles == 3 * 3
+
+    def test_utilization_bounded(self, rng):
+        engine = _engine(16)
+        _, result = engine.run_gemm(
+            rng.standard_normal((8, 32)).astype(np.float32),
+            rng.standard_normal((32, 8)).astype(np.float32),
+        )
+        assert 0 < result.multiplier_utilization <= 1
+
+    def test_narrow_gemm_wastes_the_array(self, rng):
+        engine = _engine(256)
+        a = rng.standard_normal((256, 64)).astype(np.float32)
+        wide = rng.standard_normal((64, 16)).astype(np.float32)
+        narrow = rng.standard_normal((64, 1)).astype(np.float32)
+        _, wide_result = engine.run_gemm(a, wide)
+        _, narrow_result = engine.run_gemm(a, narrow)
+        assert (
+            narrow_result.multiplier_utilization
+            < wide_result.multiplier_utilization
+        )
+
+    def test_activity_counters(self, rng):
+        engine = _engine(16)
+        engine.run_gemm(
+            rng.standard_normal((4, 8)).astype(np.float32),
+            rng.standard_normal((8, 4)).astype(np.float32),
+        )
+        assert engine.counters["mn_multiplications"] == 4 * 8 * 4
+        assert engine.counters["rn_accumulator_ops"] == 4 * 8 * 4
+        assert engine.gb.counters["gb_writes"] == 16
+
+    def test_incompatible_operands(self, rng):
+        with pytest.raises(ConfigurationError):
+            _engine(16).run_gemm(
+                rng.standard_normal((4, 8)), rng.standard_normal((7, 4))
+            )

@@ -1,0 +1,69 @@
+"""Per-layer tile configuration files and context tile overrides."""
+
+import numpy as np
+import pytest
+
+from repro.config import TileConfig, load_tile_file, maeri_like, save_tile_file
+from repro.engine.accelerator import Accelerator
+from repro.errors import ConfigurationError
+from repro.frontend.layers import Conv2d
+from repro.frontend.module import Sequential
+from repro.frontend.simulated import detach_context, simulate
+
+
+def test_round_trip(tmp_path):
+    tiles = {
+        "conv1": TileConfig(t_r=3, t_s=3, t_c=2, t_k=4),
+        "conv2": TileConfig(t_c=16, t_y=2),
+    }
+    path = tmp_path / "tiles.cfg"
+    save_tile_file(tiles, path)
+    assert load_tile_file(path) == tiles
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(ConfigurationError, match="not found"):
+        load_tile_file(tmp_path / "nope.cfg")
+
+
+def test_bad_values_raise(tmp_path):
+    path = tmp_path / "tiles.cfg"
+    path.write_text("[conv1]\nt_r = lots\n")
+    with pytest.raises(ConfigurationError, match="conv1"):
+        load_tile_file(path)
+
+
+def test_context_uses_per_layer_tiles(rng):
+    model = Sequential(
+        Conv2d(2, 4, 3, name="convA", rng=rng),
+        Conv2d(4, 4, 3, name="convB", rng=rng),
+    )
+    forced = TileConfig(t_r=3, t_s=3, t_c=1)
+    x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+
+    acc_auto = Accelerator(maeri_like(64, 16))
+    simulate(model, acc_auto)
+    model(x)
+    detach_context(model)
+
+    acc_forced = Accelerator(maeri_like(64, 16))
+    simulate(model, acc_forced, tiles={"convA": forced})
+    model(x)
+    detach_context(model)
+
+    # convA's timing changes under the forced (smaller) tile; convB's not
+    auto_layers = {l.name.split("-", 1)[1]: l.cycles for l in acc_auto.report.layers}
+    forced_layers = {l.name.split("-", 1)[1]: l.cycles for l in acc_forced.report.layers}
+    assert forced_layers["convA"] != auto_layers["convA"]
+    assert forced_layers["convB"] == auto_layers["convB"]
+
+
+def test_tile_file_drives_simulation(tmp_path, rng):
+    path = tmp_path / "tiles.cfg"
+    save_tile_file({"convA": TileConfig(t_r=3, t_s=3, t_c=1)}, path)
+    model = Sequential(Conv2d(2, 4, 3, name="convA", rng=rng))
+    acc = Accelerator(maeri_like(64, 16))
+    simulate(model, acc, tiles=load_tile_file(path))
+    model(rng.standard_normal((1, 2, 8, 8)).astype(np.float32))
+    detach_context(model)
+    assert acc.report.total_cycles > 0
