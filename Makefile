@@ -1,6 +1,6 @@
 # Convenience targets for the STONNE reproduction.
 
-.PHONY: install test bench report examples validate all clean
+.PHONY: install test bench report examples validate trace-smoke all clean
 
 install:
 	pip install -e .
@@ -16,6 +16,16 @@ report:
 
 validate:
 	stonne validate
+
+# run a tiny traced conv through the CLI and validate the Chrome trace
+trace-smoke:
+	PYTHONPATH=src python -m repro.ui.cli conv -R 3 -S 3 -C 4 -K 4 \
+		-X 6 -Y 6 --arch maeri --num-ms 16 --bw 8 \
+		--trace /tmp/stonne-trace-smoke.json --metrics-every 16
+	PYTHONPATH=src python -m repro.observability.validate \
+		/tmp/stonne-trace-smoke.json \
+		--expect "layer:" --expect "DN:" --expect "MN:" --expect "RN:"
+	@echo "trace smoke OK"
 
 examples:
 	@for script in examples/*.py; do \

@@ -48,6 +48,7 @@ from repro.errors import (
     SimulationError,
     StonneError,
 )
+from repro.observability import MetricsRecorder, Observability, Profiler, Tracer
 from repro.version import __version__
 
 __all__ = [
@@ -59,11 +60,15 @@ __all__ = [
     "GemmSpec",
     "HardwareConfig",
     "MappingError",
+    "MetricsRecorder",
+    "Observability",
+    "Profiler",
     "SimulationError",
     "SimulationReport",
     "StonneError",
     "StonneInstance",
     "TileConfig",
+    "Tracer",
     "__version__",
     "area_report",
     "energy_report",

@@ -36,6 +36,7 @@ from repro.config.hardware import HardwareConfig, load_config
 from repro.config.tile import TileConfig
 from repro.engine.accelerator import Accelerator
 from repro.errors import ApiError
+from repro.observability import Observability
 
 
 @dataclass
@@ -47,10 +48,14 @@ class _PendingOperation:
 class StonneInstance:
     """One simulator instance driven through the Table III instructions."""
 
-    def __init__(self, config: Union[HardwareConfig, str, Path]) -> None:
+    def __init__(
+        self,
+        config: Union[HardwareConfig, str, Path],
+        observability: Optional[Observability] = None,
+    ) -> None:
         if not isinstance(config, HardwareConfig):
             config = load_config(config)
-        self.accelerator = Accelerator(config)
+        self.accelerator = Accelerator(config, observability=observability)
         self._operation: Optional[_PendingOperation] = None
         self._data: Dict[str, np.ndarray] = {}
 
@@ -150,6 +155,11 @@ class StonneInstance:
         """The accumulated simulation report (Output Module)."""
         return self.accelerator.report
 
+    @property
+    def observability(self) -> Observability:
+        """The instance's observability context (tracer/metrics/profiler)."""
+        return self.accelerator.obs
+
     @staticmethod
     def _require(condition: bool, message: str) -> None:
         if not condition:
@@ -157,8 +167,11 @@ class StonneInstance:
 
 
 # ---- instruction-style aliases (Table III spelling) -----------------------
-def CreateInstance(config: Union[HardwareConfig, str, Path]) -> StonneInstance:
-    return StonneInstance(config)
+def CreateInstance(
+    config: Union[HardwareConfig, str, Path],
+    observability: Optional[Observability] = None,
+) -> StonneInstance:
+    return StonneInstance(config, observability=observability)
 
 
 def ConfigureCONV(instance: StonneInstance, **kwargs) -> None:

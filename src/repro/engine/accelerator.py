@@ -30,6 +30,7 @@ from repro.memory.dram import Dram
 from repro.memory.global_buffer import GlobalBuffer
 from repro.memory.sparse_controller import RoundBuilder, SparseController
 from repro.noc.base import CounterSet
+from repro.observability.context import TRACE_COUNTER_SERIES, Observability
 from repro.noc.distribution import build_distribution_network
 from repro.noc.multiplier import build_multiplier_network
 from repro.noc.reduction import build_reduction_network
@@ -43,8 +44,14 @@ __all__ = ["Accelerator", "LayerReport"]
 class Accelerator:
     """One simulated accelerator instance."""
 
-    def __init__(self, config: HardwareConfig) -> None:
+    def __init__(
+        self,
+        config: HardwareConfig,
+        observability: Optional[Observability] = None,
+    ) -> None:
         self.config = config
+        self.obs = observability if observability is not None else Observability()
+        self.obs.bind(self._snapshot)
         self.mapper = Mapper(config)
         self.gb = GlobalBuffer(
             size_kb=config.gb_size_kb,
@@ -88,6 +95,8 @@ class Accelerator:
                 )
                 controller = self.dense_controller
             self._components = [self.gb, self.dram, self.dn, self.mn, self.rn, controller]
+        for component in self._components:
+            component.obs = self.obs
 
     # ------------------------------------------------------------------
     # component iteration (the Fig. 4 cycle loop)
@@ -112,6 +121,13 @@ class Accelerator:
             merged.merge(component.counters)
         return merged
 
+    def _start_layer(self, name: str, kind: str) -> None:
+        """Open the layer's observability window on the cycle timeline."""
+        self.obs.start_layer(self.report.total_cycles)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.begin(f"layer:{name}", "accelerator", self.obs.base, kind=kind)
+
     def _finish_layer(
         self,
         name: str,
@@ -123,6 +139,25 @@ class Accelerator:
         utilization: float,
         **extra,
     ) -> LayerReport:
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.end(
+                self.obs.base + cycles,
+                cycles=cycles, macs=macs,
+                utilization=round(utilization, 6),
+            )
+        self.obs.end_layer(cycles)
+        if self.obs.metrics is not None:
+            extra["metrics"] = [
+                {
+                    "cycle": sample.cycle,
+                    **{
+                        key: sample.values[key]
+                        for key in TRACE_COUNTER_SERIES if key in sample.values
+                    },
+                }
+                for sample in self.obs.layer_samples()
+            ]
         delta = self._snapshot().diff(before)
         layer = LayerReport(
             name=name,
@@ -171,11 +206,13 @@ class Accelerator:
             r=r, s=s, c=c_g, k=k_total // groups, g=groups, n=n,
             x=x + 2 * padding, y=y + 2 * padding, stride=stride, name=name,
         )
+        self._start_layer(name, "conv")
 
         # ---- functional execution (real values) ----
-        output, group_cols = self._conv_functional(
-            weights, activations, stride, padding, groups, layer
-        )
+        with self.obs.profiler.phase("functional"):
+            output, group_cols = self._conv_functional(
+                weights, activations, stride, padding, groups, layer
+            )
 
         # ---- microarchitectural execution ----
         before = self._snapshot()
@@ -195,7 +232,8 @@ class Accelerator:
             cycles, macs = result.cycles, result.effective_macs
             utilization = result.multiplier_utilization
         else:
-            chosen = self.mapper.tile_for_conv(layer, tile)
+            with self.obs.profiler.phase("map"):
+                chosen = self.mapper.tile_for_conv(layer, tile)
             result = self.dense_controller.run_conv(layer, chosen)
             cycles, macs = result.cycles, result.macs
             utilization = result.multiplier_utilization
@@ -218,6 +256,7 @@ class Accelerator:
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
             raise ConfigurationError(f"incompatible GEMM operands {a.shape} @ {b.shape}")
         gemm = GemmSpec(m=a.shape[0], n=b.shape[1], k=a.shape[1], name=name)
+        self._start_layer(name, "gemm")
 
         before = self._snapshot()
         if self.systolic is not None:
@@ -225,13 +264,16 @@ class Accelerator:
             cycles, macs = result.cycles, result.macs
             utilization = result.multiplier_utilization
         elif self.sparse_controller is not None:
-            output = (a @ b).astype(np.float32)
+            with self.obs.profiler.phase("functional"):
+                output = (a @ b).astype(np.float32)
             result = self.sparse_controller.run_spmm(a, gemm.n)
             cycles, macs = result.cycles, result.effective_macs
             utilization = result.multiplier_utilization
         else:
-            output = (a @ b).astype(np.float32)
-            chosen = self.mapper.tile_for_gemm(gemm, tile)
+            with self.obs.profiler.phase("functional"):
+                output = (a @ b).astype(np.float32)
+            with self.obs.profiler.phase("map"):
+                chosen = self.mapper.tile_for_gemm(gemm, tile)
             result = self.dense_controller.run_gemm(gemm, chosen)
             cycles, macs = result.cycles, result.macs
             utilization = result.multiplier_utilization
@@ -269,7 +311,9 @@ class Accelerator:
             raise ConfigurationError(
                 f"incompatible SpMM operands {dense_a.shape} @ {b.shape}"
             )
-        output = (dense_a.astype(np.float32) @ b).astype(np.float32)
+        self._start_layer(name, "spmm")
+        with self.obs.profiler.phase("functional"):
+            output = (dense_a.astype(np.float32) @ b).astype(np.float32)
 
         before = self._snapshot()
         result = self.sparse_controller.run_spmm(
@@ -305,10 +349,12 @@ class Accelerator:
         n, c, x, y = activations.shape
         xo = (x - pool) // stride + 1
         yo = (y - pool) // stride + 1
-        cols = im2col(
-            activations.reshape(n * c, 1, x, y), pool, pool, stride, 0
-        )
-        output = cols.max(axis=0).reshape(n * c, xo, yo).reshape(n, c, xo, yo)
+        self._start_layer(name, "maxpool")
+        with self.obs.profiler.phase("functional"):
+            cols = im2col(
+                activations.reshape(n * c, 1, x, y), pool, pool, stride, 0
+            )
+            output = cols.max(axis=0).reshape(n * c, xo, yo).reshape(n, c, xo, yo)
 
         before = self._snapshot()
         comparisons = cols.size

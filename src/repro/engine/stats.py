@@ -24,6 +24,7 @@ from repro.config.hardware import HardwareConfig
 from repro.engine.area import AreaBreakdown, area_report
 from repro.engine.energy import EnergyBreakdown, EnergyTable, energy_report
 from repro.noc.base import CounterSet
+from repro.observability.provenance import run_metadata
 
 
 @dataclass(frozen=True)
@@ -37,7 +38,7 @@ class LayerReport:
     outputs: int
     multiplier_utilization: float
     counters: CounterSet
-    extra: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
 
     def energy(self, config: HardwareConfig) -> EnergyBreakdown:
         """Price this layer's activity with the configuration's table."""
@@ -78,6 +79,9 @@ class SimulationReport:
     def __init__(self, config: HardwareConfig) -> None:
         self.config = config
         self.layers: List[LayerReport] = []
+        #: run provenance (tool version, config hash, timestamp, ...) —
+        #: mutable so callers can stamp extra keys (e.g. the run seed)
+        self.metadata: Dict[str, object] = run_metadata(config)
 
     def append(self, layer: LayerReport) -> None:
         self.layers.append(layer)
@@ -170,6 +174,7 @@ class SimulationReport:
         area = self.area()
         return {
             "accelerator": self.config.name,
+            "metadata": dict(self.metadata),
             "num_ms": self.config.num_ms,
             "dn_bandwidth": self.config.dn_bandwidth,
             "total_cycles": self.total_cycles,

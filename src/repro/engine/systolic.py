@@ -120,39 +120,68 @@ class SystolicEngine(ClockedComponent):
         _, n = b.shape
         out = np.zeros((m, n), dtype=np.float32)
 
+        obs = self.obs
+        tracer = obs.tracer
+        base = obs.base
         cycles = LAYER_SETUP_CYCLES
         tiles = 0
         macs = 0
-        if self.weight_stationary:
-            # tiles partition the stationary (K x N) weight matrix; the
-            # full M activation rows stream through each tile
-            out[:, :] = a @ b
-            k_tiles = math.ceil(k / self.dim)
-            n_tiles = math.ceil(n / self.dim)
-            for ki in range(k_tiles):
-                tk = min(self.dim, k - ki * self.dim)
-                for ni in range(n_tiles):
-                    tn = min(self.dim, n - ni * self.dim)
-                    cycles += self.tile_cycles(m, tk, tn)
-                    tiles += 1
-                    macs += m * tk * tn
-                    self._account_tile(m, tk, tn)
-        else:
-            m_tiles = math.ceil(m / self.dim)
-            n_tiles = math.ceil(n / self.dim)
-            for mi in range(m_tiles):
-                m_lo, m_hi = mi * self.dim, min((mi + 1) * self.dim, m)
-                for ni in range(n_tiles):
-                    n_lo, n_hi = ni * self.dim, min((ni + 1) * self.dim, n)
-                    tm, tn = m_hi - m_lo, n_hi - n_lo
-                    out[m_lo:m_hi, n_lo:n_hi] = a[m_lo:m_hi, :] @ b[:, n_lo:n_hi]
-                    cycles += self.tile_cycles(tm, k, tn)
-                    tiles += 1
-                    macs += tm * k * tn
-                    self._account_tile(tm, k, tn)
+        with obs.profiler.phase("compute"):
+            if self.weight_stationary:
+                # tiles partition the stationary (K x N) weight matrix; the
+                # full M activation rows stream through each tile
+                out[:, :] = a @ b
+                k_tiles = math.ceil(k / self.dim)
+                n_tiles = math.ceil(n / self.dim)
+                for ki in range(k_tiles):
+                    tk = min(self.dim, k - ki * self.dim)
+                    for ni in range(n_tiles):
+                        tn = min(self.dim, n - ni * self.dim)
+                        tile = self.tile_cycles(m, tk, tn)
+                        if tracer.enabled:
+                            tracer.span(
+                                "PE:tile", self.name, base + cycles,
+                                base + cycles + tile,
+                                m=m, k=tk, n=tn, macs=m * tk * tn,
+                            )
+                        cycles += tile
+                        tiles += 1
+                        macs += m * tk * tn
+                        self._account_tile(m, tk, tn)
+                        obs.sample(cycles)
+            else:
+                m_tiles = math.ceil(m / self.dim)
+                n_tiles = math.ceil(n / self.dim)
+                for mi in range(m_tiles):
+                    m_lo, m_hi = mi * self.dim, min((mi + 1) * self.dim, m)
+                    for ni in range(n_tiles):
+                        n_lo, n_hi = ni * self.dim, min((ni + 1) * self.dim, n)
+                        tm, tn = m_hi - m_lo, n_hi - n_lo
+                        out[m_lo:m_hi, n_lo:n_hi] = (
+                            a[m_lo:m_hi, :] @ b[:, n_lo:n_hi]
+                        )
+                        tile = self.tile_cycles(tm, k, tn)
+                        if tracer.enabled:
+                            tracer.span(
+                                "PE:tile", self.name, base + cycles,
+                                base + cycles + tile,
+                                m=tm, k=k, n=tn, macs=tm * k * tn,
+                            )
+                        cycles += tile
+                        tiles += 1
+                        macs += tm * k * tn
+                        self._account_tile(tm, k, tn)
+                        obs.sample(cycles)
 
-        dram_stall = self._account_dram(m, k, n, cycles)
-        cycles += dram_stall
+        with obs.profiler.phase("drain"):
+            dram_stall = self._account_dram(m, k, n, cycles)
+            if tracer.enabled and dram_stall:
+                tracer.span(
+                    "DRAM:stall", self.dram.name, base + cycles,
+                    base + cycles + dram_stall,
+                )
+            cycles += dram_stall
+            obs.sample(cycles)
         self._current_cycle += cycles
         self.counters.add("ctrl_cycles", cycles)
         utilization = macs / (self.config.num_ms * cycles) if cycles else 0.0

@@ -142,6 +142,100 @@ class DenseController(ClockedComponent):
     # the timing engine
     # ------------------------------------------------------------------
     def _run(self, layer: ConvLayerSpec, tile: TileConfig) -> DenseRunResult:
+        obs = self.obs
+        prof = obs.profiler
+        with prof.phase("map"):
+            plan_state = self._plan(layer, tile)
+        (cs, tile, plan, weight_loads, w_unique, w_dests, w_cycles,
+         total_steps) = plan_state
+
+        tracer = obs.tracer
+        base = obs.base
+        self.counters.add("ctrl_layers_run", 1)
+        cycles = LAYER_SETUP_CYCLES
+        if tracer.enabled:
+            tracer.span("CTRL:setup", self.name, base, base + cycles)
+
+        stall_cycles = 0
+        with prof.phase("distribute"):
+            load_cycles = self._account_weight_loads(
+                w_unique, w_dests, w_cycles, weight_loads
+            )
+        if tracer.enabled and load_cycles:
+            tracer.span(
+                "DN:weight-load", self.dn.name, base + cycles,
+                base + cycles + load_cycles,
+                unique=w_unique, loads=weight_loads,
+            )
+        cycles += load_cycles
+        obs.sample(cycles)
+
+        with prof.phase("compute"):
+            for cost, repeats in plan:
+                if repeats <= 0:
+                    continue
+                step_cycles = self._step_cycles(cost, cs)
+                segment = step_cycles * repeats
+                self._account_steps(cost, cs, tile.num_clusters, repeats)
+                if tracer.enabled:
+                    start, end = base + cycles, base + cycles + segment
+                    stall = max(0, step_cycles - 1) * repeats
+                    tracer.span(
+                        "DN:deliver", self.dn.name, start, end,
+                        steps=repeats, slots_per_step=cost.dn_slots,
+                        stall_cycles=stall,
+                    )
+                    tracer.span(
+                        "MN:multiply", self.mn.name, start, end,
+                        multiplications=cs * tile.num_clusters * repeats,
+                        forwarded=cost.forwarded * repeats,
+                    )
+                    tracer.span(
+                        "RN:reduce", self.rn.name, start, end,
+                        outputs=cost.outputs_completed * repeats,
+                        psum_writebacks=cost.psum_writebacks * repeats,
+                    )
+                cycles += segment
+                stall_cycles += max(0, step_cycles - 1) * repeats
+                obs.sample(cycles)
+
+        with prof.phase("drain"):
+            # Pipeline fill/drain: one DN traversal, the multiply stage and
+            # the deepest reduction still in flight at the end of the run.
+            drain = self.dn.pipeline_latency + 1 + self.rn.reduction_latency(cs)
+            if tracer.enabled:
+                tracer.span(
+                    "CTRL:pipeline-drain", self.name, base + cycles,
+                    base + cycles + drain,
+                )
+            cycles += drain
+
+            macs = layer.num_macs
+            outputs = layer.num_outputs
+            dram_stall = self._account_dram(layer, cycles)
+            if tracer.enabled and dram_stall:
+                tracer.span(
+                    "DRAM:stall", self.dram.name, base + cycles,
+                    base + cycles + dram_stall,
+                )
+            cycles += dram_stall
+            obs.sample(cycles)
+
+        utilization = macs / (self.mn.num_ms * cycles) if cycles else 0.0
+        self._current_cycle += cycles
+        self.counters.add("ctrl_cycles", cycles)
+        return DenseRunResult(
+            cycles=cycles,
+            macs=macs,
+            outputs=outputs,
+            steps=total_steps,
+            stall_cycles=stall_cycles,
+            dram_stall_cycles=dram_stall,
+            multiplier_utilization=utilization,
+        )
+
+    def _plan(self, layer: ConvLayerSpec, tile: TileConfig):
+        """Choose the loop ordering and the per-segment step costs."""
         cs = tile.cluster_size
         folds = tile.folds_for(layer)
         k_iters = math.ceil(layer.k / tile.t_k) * math.ceil(layer.g / tile.t_g)
@@ -153,8 +247,6 @@ class DenseController(ClockedComponent):
             raise MappingError("degenerate layer/tile combination")
 
         self._configure_fabric(tile)
-        self.counters.add("ctrl_layers_run", 1)
-        cycles = LAYER_SETUP_CYCLES
 
         # Two candidate loop orderings exist when the layer folds:
         #
@@ -213,38 +305,8 @@ class DenseController(ClockedComponent):
         if folds > 1 and self.rn.has_accumulators:
             candidates.append(build_plan(fold_inner=True))
         plan, weight_loads, _estimate = min(candidates, key=lambda item: item[2])
-
-        stall_cycles = 0
-        cycles += self._account_weight_loads(w_unique, w_dests, w_cycles, weight_loads)
-        for cost, repeats in plan:
-            if repeats <= 0:
-                continue
-            step_cycles = self._step_cycles(cost, cs)
-            self._account_steps(cost, cs, tile.num_clusters, repeats)
-            cycles += step_cycles * repeats
-            stall_cycles += max(0, step_cycles - 1) * repeats
-
-        # Pipeline fill/drain: one DN traversal, the multiply stage and the
-        # deepest reduction still in flight at the end of the run.
-        cycles += self.dn.pipeline_latency + 1 + self.rn.reduction_latency(cs)
-
-        macs = layer.num_macs
-        outputs = layer.num_outputs
-        dram_stall = self._account_dram(layer, cycles)
-        cycles += dram_stall
-
-        utilization = macs / (self.mn.num_ms * cycles) if cycles else 0.0
-        self._current_cycle += cycles
-        self.counters.add("ctrl_cycles", cycles)
-        return DenseRunResult(
-            cycles=cycles,
-            macs=macs,
-            outputs=outputs,
-            steps=total_steps,
-            stall_cycles=stall_cycles,
-            dram_stall_cycles=dram_stall,
-            multiplier_utilization=utilization,
-        )
+        return (cs, tile, plan, weight_loads, w_unique, w_dests, w_cycles,
+                total_steps)
 
     # ------------------------------------------------------------------
     # pieces
@@ -374,17 +436,18 @@ class DenseController(ClockedComponent):
         self.mn.record_multiplications(cs * nc * repeats)
         if cost.forwarded:
             self.mn.record_forwarding(cost.forwarded * repeats)
-        self.rn.counters.add(self.rn.adder_counter, repeats * nc * max(0, cs - 1))
-        self.rn.counters.add("rn_wire_traversals", repeats * nc * (2 * cs - 1))
-        if cost.psum_writebacks:
-            self.mn.record_psum_injections(nc * repeats)
-            self.rn.record_outputs(cost.psum_writebacks * repeats)
-            self.gb.record_writes(cost.psum_writebacks * repeats)
-        elif self.rn.has_accumulators:
-            self.rn.record_accumulations(nc * repeats)
-        if cost.outputs_completed:
-            self.rn.record_outputs(cost.outputs_completed * repeats)
-            self.gb.record_writes(cost.outputs_completed * repeats)
+        with self.obs.profiler.phase("reduce"):
+            self.rn.counters.add(self.rn.adder_counter, repeats * nc * max(0, cs - 1))
+            self.rn.counters.add("rn_wire_traversals", repeats * nc * (2 * cs - 1))
+            if cost.psum_writebacks:
+                self.mn.record_psum_injections(nc * repeats)
+                self.rn.record_outputs(cost.psum_writebacks * repeats)
+                self.gb.record_writes(cost.psum_writebacks * repeats)
+            elif self.rn.has_accumulators:
+                self.rn.record_accumulations(nc * repeats)
+            if cost.outputs_completed:
+                self.rn.record_outputs(cost.outputs_completed * repeats)
+                self.gb.record_writes(cost.outputs_completed * repeats)
 
     def _account_dram(self, layer: ConvLayerSpec, compute_cycles: int) -> int:
         """Move the layer footprint through DRAM; returns stall cycles."""

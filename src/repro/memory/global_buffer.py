@@ -74,6 +74,12 @@ class GlobalBuffer(ClockedComponent):
         if elements < 0:
             raise ValueError("fill count must be non-negative")
         self.counters.add("gb_fills", elements)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            # the prefetch overlaps the layer (double buffering), so mark
+            # it as an instant at the layer's start rather than a window
+            tracer.instant("GB:fill", self.name, self.obs.base,
+                           elements=elements)
 
     # ---- timing helpers -------------------------------------------------
     def read_cycles(self, elements: int) -> int:

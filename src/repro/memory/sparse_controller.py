@@ -213,16 +213,18 @@ class SparseController(ClockedComponent):
                     f"streaming operand shape {streaming.shape} disagrees "
                     f"with n_cols={n_cols}"
                 )
-        csr = self._as_csr(stationary)
-        if streaming is not None and streaming.shape[0] != csr.shape[1]:
-            raise MappingError(
-                f"streaming operand has {streaming.shape[0]} rows but the "
-                f"stationary K dimension is {csr.shape[1]}"
-            )
-        row_nnz = csr.row_nnz()
-        builder = round_builder or natural_order_rounds
-        rounds = builder(row_nnz, self.mn.num_ms)
-        self._validate_rounds(rounds, row_nnz)
+        obs = self.obs
+        with obs.profiler.phase("map"):
+            csr = self._as_csr(stationary)
+            if streaming is not None and streaming.shape[0] != csr.shape[1]:
+                raise MappingError(
+                    f"streaming operand has {streaming.shape[0]} rows but the "
+                    f"stationary K dimension is {csr.shape[1]}"
+                )
+            row_nnz = csr.row_nnz()
+            builder = round_builder or natural_order_rounds
+            rounds = builder(row_nnz, self.mn.num_ms)
+            self._validate_rounds(rounds, row_nnz)
 
         m_rows, k_dim = csr.shape
         dense_macs = m_rows * k_dim * n_cols
@@ -240,31 +242,62 @@ class SparseController(ClockedComponent):
         else:
             effective_macs = total_nnz * n_cols
 
+        tracer = obs.tracer
+        base = obs.base
         self.counters.add("ctrl_gemms_run", 1)
         self.counters.add("ctrl_metadata_elements", csr.nnz)
         cycles = GEMM_SETUP_CYCLES
+        if tracer.enabled:
+            tracer.span("CTRL:setup", self.name, base, base + cycles)
         round_stats: List[SparseRoundStats] = []
         busy_ms_cycles = 0
         mapped_nnz_total = 0
 
         for index, chunks in enumerate(rounds):
+            if tracer.enabled:
+                tracer.begin(
+                    f"round[{index}]", self.name, base + cycles,
+                    rows=len(chunks),
+                )
             stats = self._run_round(
-                csr, chunks, n_cols, first=index == 0, b_mask=b_mask
+                csr, chunks, n_cols, first=index == 0, b_mask=b_mask,
+                start=cycles,
             )
             round_stats.append(stats)
             cycles += stats.cycles
+            if tracer.enabled:
+                tracer.end(
+                    base + cycles,
+                    nnz=stats.nnz,
+                    utilization=round(stats.utilization, 6),
+                )
             busy_ms_cycles += stats.nnz * n_cols
             mapped_nnz_total += stats.nnz
+            obs.sample(cycles)
 
-        # final pipeline drain of the deepest in-flight reduction
-        if rounds:
-            max_cluster = max(
-                max(chunk.length for chunk in chunks) for chunks in rounds
-            )
-            cycles += self.dn.pipeline_latency + 1 + self.rn.reduction_latency(max_cluster)
+        with obs.profiler.phase("drain"):
+            # final pipeline drain of the deepest in-flight reduction
+            if rounds:
+                max_cluster = max(
+                    max(chunk.length for chunk in chunks) for chunks in rounds
+                )
+                drain = (self.dn.pipeline_latency + 1
+                         + self.rn.reduction_latency(max_cluster))
+                if tracer.enabled:
+                    tracer.span(
+                        "CTRL:pipeline-drain", self.name, base + cycles,
+                        base + cycles + drain,
+                    )
+                cycles += drain
 
-        dram_stall = self._account_dram(csr, n_cols, cycles)
-        cycles += dram_stall
+            dram_stall = self._account_dram(csr, n_cols, cycles)
+            if tracer.enabled and dram_stall:
+                tracer.span(
+                    "DRAM:stall", self.dram.name, base + cycles,
+                    base + cycles + dram_stall,
+                )
+            cycles += dram_stall
+            obs.sample(cycles)
 
         mapping_util = (
             mapped_nnz_total / (self.mn.num_ms * len(rounds)) if rounds else 0.0
@@ -286,8 +319,11 @@ class SparseController(ClockedComponent):
     # ------------------------------------------------------------------
     def _run_round(
         self, csr: CsrMatrix, chunks: Sequence[RowChunk], n_cols: int,
-        first: bool = False, b_mask=None,
+        first: bool = False, b_mask=None, start: int = 0,
     ) -> SparseRoundStats:
+        obs = self.obs
+        tracer = obs.tracer
+        clock = obs.base + start + (ROUND_RECONFIG_CYCLES if first else 0)
         nnz = sum(chunk.length for chunk in chunks)
         cluster_sizes = [chunk.length for chunk in chunks]
         self.mn.configure_clusters(cluster_sizes)
@@ -305,69 +341,100 @@ class SparseController(ClockedComponent):
         resumed = sum(1 for chunk in chunks if chunk.start > 0)
 
         # stationary load of the round's weights (plus compressed metadata)
-        load_cycles = self.dn.record_delivery(nnz, nnz)
-        self.gb.record_reads(nnz)
-        self.counters.add("ctrl_stationary_loads", nnz)
+        with obs.profiler.phase("distribute"):
+            load_cycles = self.dn.record_delivery(nnz, nnz)
+            self.gb.record_reads(nnz)
+            self.counters.add("ctrl_stationary_loads", nnz)
+        if tracer.enabled and load_cycles:
+            tracer.span(
+                "DN:stationary-load", self.dn.name, clock, clock + load_cycles,
+                nonzeros=nnz,
+            )
+        clock += load_cycles
 
         # column streaming
-        drain = self.rn.output_cycles(len(chunks))
-        if b_mask is not None and support:
-            # dual-sided sparsity: per column only the nonzero streamed
-            # values inside the round's support are delivered
-            support_idx = np.fromiter(support, dtype=np.int64)
-            unique_per_col = b_mask[support_idx, :].sum(axis=0)
-            per_col = np.maximum(
-                np.ceil(unique_per_col / self.dn.bandwidth).astype(np.int64), 1
-            )
-            stream_cycles = int(np.maximum(per_col, drain).sum())
-            step_cycles = max(1, int(per_col.max(initial=1)), drain)
-            unique = int(round(float(unique_per_col.mean()))) if n_cols else 0
-            slots = max(unique, 1)
-        else:
-            slots = unique
-            delivery = self.dn.delivery_cycles(max(slots, 1), max(slots, 1))
-            step_cycles = max(1, delivery, drain)
-            stream_cycles = step_cycles * n_cols
+        with obs.profiler.phase("compute"):
+            drain = self.rn.output_cycles(len(chunks))
+            if b_mask is not None and support:
+                # dual-sided sparsity: per column only the nonzero streamed
+                # values inside the round's support are delivered
+                support_idx = np.fromiter(support, dtype=np.int64)
+                unique_per_col = b_mask[support_idx, :].sum(axis=0)
+                per_col = np.maximum(
+                    np.ceil(unique_per_col / self.dn.bandwidth).astype(np.int64), 1
+                )
+                stream_cycles = int(np.maximum(per_col, drain).sum())
+                step_cycles = max(1, int(per_col.max(initial=1)), drain)
+                unique = int(round(float(unique_per_col.mean()))) if n_cols else 0
+                slots = max(unique, 1)
+            else:
+                slots = unique
+                delivery = self.dn.delivery_cycles(max(slots, 1), max(slots, 1))
+                step_cycles = max(1, delivery, drain)
+                stream_cycles = step_cycles * n_cols
 
-        # folded rows: the previous chunk's partial outputs are re-read
-        # from the GB and merged into this chunk's outputs at the round
-        # boundary (one add per column per resumed row)
-        merge_cycles = 0
-        if resumed:
-            merge_reads = resumed * n_cols
-            merge_cycles = math.ceil(merge_reads / self.dn.bandwidth) + math.ceil(
-                merge_reads / self.rn.bandwidth
-            )
-            self.gb.record_reads(merge_reads)
-            self.rn.record_accumulations(merge_reads)
+            # folded rows: the previous chunk's partial outputs are re-read
+            # from the GB and merged into this chunk's outputs at the round
+            # boundary (one add per column per resumed row)
+            merge_cycles = 0
+            if resumed:
+                merge_reads = resumed * n_cols
+                merge_cycles = math.ceil(merge_reads / self.dn.bandwidth) + math.ceil(
+                    merge_reads / self.rn.bandwidth
+                )
+                self.gb.record_reads(merge_reads)
+                self.rn.record_accumulations(merge_reads)
 
-        # batched activity for all column steps of the round
-        self.dn.enqueue(max(slots, 1), max(slots, 1))
-        self._scale_delivery(max(slots, 1), n_cols - 1)
-        self.dn.skip_cycles(stream_cycles)
-        self.gb.record_reads(unique * n_cols)
-        if b_mask is not None:
-            round_mults = 0
-            for chunk in chunks:
-                cols, _vals = csr.row(chunk.row)
-                chunk_cols = cols[chunk.start : chunk.start + chunk.length]
-                round_mults += int(b_mask[chunk_cols, :].sum())
-        else:
-            round_mults = nnz * n_cols
-        self.mn.record_multiplications(round_mults)
-        self.rn.counters.add(
-            self.rn.adder_counter,
-            n_cols * sum(max(0, size - 1) for size in cluster_sizes),
-        )
-        self.rn.counters.add(
-            "rn_wire_traversals", n_cols * sum(2 * size - 1 for size in cluster_sizes)
-        )
-        self.rn.record_outputs(len(chunks) * n_cols)
-        self.gb.record_writes(len(chunks) * n_cols)
+            # batched activity for all column steps of the round
+            self.dn.enqueue(max(slots, 1), max(slots, 1))
+            self._scale_delivery(max(slots, 1), n_cols - 1)
+            self.dn.skip_cycles(stream_cycles)
+            self.gb.record_reads(unique * n_cols)
+            if b_mask is not None:
+                round_mults = 0
+                for chunk in chunks:
+                    cols, _vals = csr.row(chunk.row)
+                    chunk_cols = cols[chunk.start : chunk.start + chunk.length]
+                    round_mults += int(b_mask[chunk_cols, :].sum())
+            else:
+                round_mults = nnz * n_cols
+            self.mn.record_multiplications(round_mults)
+        with obs.profiler.phase("reduce"):
+            self.rn.counters.add(
+                self.rn.adder_counter,
+                n_cols * sum(max(0, size - 1) for size in cluster_sizes),
+            )
+            self.rn.counters.add(
+                "rn_wire_traversals",
+                n_cols * sum(2 * size - 1 for size in cluster_sizes),
+            )
+            self.rn.record_outputs(len(chunks) * n_cols)
+            self.gb.record_writes(len(chunks) * n_cols)
         self.counters.add("ctrl_fifo_pushes", max(slots, 1) * n_cols)
         self.counters.add("ctrl_fifo_pops", len(chunks) * n_cols)
         if continued:
             self.counters.add("ctrl_psum_spills", continued * n_cols)
+
+        if tracer.enabled and stream_cycles:
+            stream_end = clock + stream_cycles
+            tracer.span(
+                "DN:stream", self.dn.name, clock, stream_end,
+                columns=n_cols, slots_per_step=slots, step_cycles=step_cycles,
+            )
+            tracer.span(
+                "MN:multiply", self.mn.name, clock, stream_end,
+                multiplications=round_mults,
+            )
+            tracer.span(
+                "RN:reduce", self.rn.name, clock, stream_end,
+                outputs=len(chunks) * n_cols,
+            )
+        clock += stream_cycles
+        if tracer.enabled and merge_cycles:
+            tracer.span(
+                "RN:merge", self.rn.name, clock, clock + merge_cycles,
+                resumed_rows=resumed,
+            )
 
         total = (
             (ROUND_RECONFIG_CYCLES if first else 0)

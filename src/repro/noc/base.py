@@ -99,6 +99,17 @@ class ClockedComponent(abc.ABC):
         self.name = name
         self.counters = CounterSet()
         self._current_cycle = 0
+        # deferred import: repro.observability.context imports this module
+        from repro.observability.context import DISABLED
+
+        #: observability context; the Accelerator replaces the shared
+        #: disabled default with its own when it adopts the component
+        self.obs = DISABLED
+
+    @property
+    def tracer(self):
+        """The attached event tracer (the no-op NullTracer by default)."""
+        return self.obs.tracer
 
     @property
     def current_cycle(self) -> int:

@@ -1,0 +1,69 @@
+"""Observability: tracing, metrics time-series and profiling hooks.
+
+Three coordinated instruments over one simulation:
+
+- :mod:`repro.observability.tracer` — span/instant/counter events on the
+  simulated-cycle timeline, exported as Chrome ``trace_event`` JSON
+  (``chrome://tracing`` / Perfetto) or JSONL;
+- :mod:`repro.observability.metrics` — periodic sampling of activity
+  counters into a ring-buffered time series (CSV / JSON);
+- :mod:`repro.observability.profiler` — wall-clock phase timers over the
+  simulator itself (``map`` / ``distribute`` / ``compute`` / ``reduce``
+  / ``drain``);
+
+plus :mod:`repro.observability.provenance` (run metadata stamped on
+every report) and :mod:`repro.observability.validate` (trace schema
+checking). :class:`Observability` bundles the instruments for one
+accelerator; everything is off by default and near-free when disabled.
+
+Usage::
+
+    from repro import Accelerator, maeri_like
+    from repro.observability import Observability
+
+    obs = Observability.create(trace=True, metrics_every=64, profile=True)
+    acc = Accelerator(maeri_like(num_ms=64, bandwidth=16), observability=obs)
+    acc.run_gemm(a, b)
+    obs.tracer.to_chrome("trace.json")     # load in chrome://tracing
+    obs.metrics.to_csv("metrics.csv")
+    print(obs.profiler.format_summary())
+
+See ``docs/OBSERVABILITY.md`` for the full workflow.
+"""
+
+from repro.observability.context import DISABLED, TRACE_COUNTER_SERIES, Observability
+from repro.observability.metrics import (
+    MetricsRecorder,
+    MetricsSample,
+    utilization_series,
+)
+from repro.observability.profiler import NULL_PROFILER, NullProfiler, Profiler
+from repro.observability.provenance import config_hash, run_metadata
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    parse_chrome_trace,
+)
+from repro.observability.validate import validate_chrome_trace
+
+__all__ = [
+    "DISABLED",
+    "MetricsRecorder",
+    "MetricsSample",
+    "NULL_PROFILER",
+    "NULL_TRACER",
+    "NullProfiler",
+    "NullTracer",
+    "Observability",
+    "Profiler",
+    "TRACE_COUNTER_SERIES",
+    "TraceEvent",
+    "Tracer",
+    "config_hash",
+    "parse_chrome_trace",
+    "run_metadata",
+    "utilization_series",
+    "validate_chrome_trace",
+]

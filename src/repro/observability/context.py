@@ -1,0 +1,120 @@
+"""The per-accelerator observability context.
+
+One :class:`Observability` object bundles the three instruments —
+:class:`~repro.observability.tracer.Tracer` (simulated-cycle events),
+:class:`~repro.observability.metrics.MetricsRecorder` (counter time
+series) and :class:`~repro.observability.profiler.Profiler` (simulator
+wall-clock) — and owns the piece of state they share: the absolute cycle
+``base`` of the layer currently executing. Engine components emit with
+layer-relative cycles (the only clock they know); the context translates
+to the absolute timeline the exporters use.
+
+The default-constructed context is fully disabled: the null tracer and
+profiler singletons plus no metrics recorder, so instrumented code paths
+cost one attribute lookup and a branch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.noc.base import CounterSet
+from repro.observability.metrics import MetricsRecorder, MetricsSample
+from repro.observability.profiler import NULL_PROFILER, NullProfiler, Profiler
+from repro.observability.tracer import NULL_TRACER, NullTracer, Tracer
+
+#: cumulative counter series mirrored into the Chrome trace as counter
+#: tracks (kept to the headline signals so traces stay viewer-friendly)
+TRACE_COUNTER_SERIES = (
+    "gb_reads",
+    "gb_writes",
+    "mn_multiplications",
+    "dn_elements_sent",
+    "rn_outputs_written",
+    "dram_bytes_read",
+    "dram_bytes_written",
+)
+
+
+class Observability:
+    """Tracer + metrics + profiler wired to one accelerator instance."""
+
+    def __init__(
+        self,
+        tracer: Optional[NullTracer] = None,
+        metrics: Optional[MetricsRecorder] = None,
+        profiler: Optional[NullProfiler] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        #: absolute cycle at which the current layer started
+        self.base = 0
+        self._snapshot: Optional[Callable[[], CounterSet]] = None
+        self._emitted_at_layer_start = 0
+
+    @classmethod
+    def create(cls, trace: bool = False, metrics_every: int = 0,
+               profile: bool = False) -> "Observability":
+        """Convenience factory from the CLI-flag view of the options."""
+        return cls(
+            tracer=Tracer() if trace else None,
+            metrics=MetricsRecorder(every=metrics_every) if metrics_every else None,
+            profiler=Profiler() if profile else None,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return (self.tracer.enabled or self.metrics is not None
+                or self.profiler.enabled)
+
+    # ---- accelerator protocol -----------------------------------------
+    def bind(self, snapshot: Callable[[], CounterSet]) -> None:
+        """Install the accelerator's merged-counter snapshot provider."""
+        self._snapshot = snapshot
+
+    def start_layer(self, base_cycle: int) -> None:
+        self.base = base_cycle
+        if self.metrics is not None:
+            self._emitted_at_layer_start = self.metrics.total_emitted
+
+    def layer_samples(self) -> List[MetricsSample]:
+        """Samples emitted since :meth:`start_layer` (ring-bounded)."""
+        if self.metrics is None:
+            return []
+        emitted = self.metrics.total_emitted - self._emitted_at_layer_start
+        if emitted <= 0:
+            return []
+        samples = self.metrics.samples
+        return samples[-min(emitted, len(samples)):]
+
+    def sample(self, rel_cycle: int) -> List[MetricsSample]:
+        """Observe the counters at ``base + rel_cycle``.
+
+        Called by the engines at phase boundaries; the metrics recorder
+        interpolates the cumulative values onto its sampling grid. Newly
+        emitted grid samples are mirrored into the trace as counter
+        events so ``chrome://tracing`` shows the time series alongside
+        the spans.
+        """
+        if self.metrics is None or self._snapshot is None:
+            return []
+        new = self.metrics.observe(self.base + rel_cycle, self._snapshot())
+        if self.tracer.enabled:
+            for sample in new:
+                values = {
+                    key: sample.values[key]
+                    for key in TRACE_COUNTER_SERIES if key in sample.values
+                }
+                if values:
+                    self.tracer.counter("activity", "metrics", sample.cycle, values)
+        return new
+
+    def end_layer(self, rel_end_cycle: int) -> None:
+        """Anchor the metrics interpolation at the layer boundary."""
+        self.sample(rel_end_cycle)
+
+
+#: shared disabled context — the default of every ClockedComponent until
+#: an Accelerator attaches its own
+DISABLED = Observability()

@@ -1,0 +1,182 @@
+"""Metrics time-series: periodic sampling of activity-counter deltas.
+
+End-of-run aggregates cannot show *when* the Global Buffer saturated or
+the reduction network idled. :class:`MetricsRecorder` turns the
+cumulative :class:`~repro.noc.base.CounterSet` values the components
+already maintain into a time series: a sample every ``every`` cycles,
+held in a bounded ring buffer.
+
+Because the engines fast-forward through steady phases, counters do not
+advance one cycle at a time — the recorder is fed *observations* at
+phase boundaries (:meth:`observe` with the absolute cycle and the
+current cumulative counters) and linearly interpolates the cumulative
+values onto the sampling grid. Within one steady phase the per-cycle
+activity really is uniform (that is what makes fast-forwarding exact),
+so the interpolation reconstructs precisely what per-cycle sampling
+would have recorded, phase boundaries excepted by less than one step.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, List, Mapping, Optional, Union
+
+from repro.noc.base import CounterSet
+
+
+@dataclass(frozen=True)
+class MetricsSample:
+    """Cumulative counter values interpolated at one grid cycle."""
+
+    cycle: int
+    values: Mapping[str, float]
+
+
+class MetricsRecorder:
+    """Ring-buffered time series of counter samples every N cycles."""
+
+    def __init__(self, every: int = 64, capacity: int = 65536) -> None:
+        if every < 1:
+            raise ValueError("sampling cadence must be >= 1 cycle")
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.every = every
+        self.capacity = capacity
+        self._ring: Deque[MetricsSample] = deque(maxlen=capacity)
+        self.dropped = 0
+        #: monotonically increasing count of samples ever emitted
+        self.total_emitted = 0
+        self._last_cycle = 0
+        self._last_values: Dict[str, float] = {}
+
+    # ---- ingestion ----------------------------------------------------
+    def observe(self, cycle: int, counters: Union[CounterSet, Mapping[str, float]],
+                ) -> List[MetricsSample]:
+        """Feed one observation; returns the newly emitted grid samples.
+
+        ``cycle`` is the absolute accelerator clock and must not move
+        backwards; ``counters`` are the *cumulative* values at that
+        cycle. Every multiple of ``every`` inside ``(previous, cycle]``
+        yields one sample with values linearly interpolated between the
+        two observations.
+        """
+        if cycle < self._last_cycle:
+            raise ValueError(
+                f"observation cycle went backwards ({cycle} < {self._last_cycle})"
+            )
+        values = dict(counters.as_dict()) if isinstance(counters, CounterSet) \
+            else {k: float(v) for k, v in counters.items()}
+        new: List[MetricsSample] = []
+        span = cycle - self._last_cycle
+        first_grid = (self._last_cycle // self.every + 1) * self.every
+        for grid in range(first_grid, cycle + 1, self.every):
+            frac = (grid - self._last_cycle) / span if span else 1.0
+            keys = self._last_values.keys() | values.keys()
+            point = {
+                key: self._last_values.get(key, 0.0)
+                + frac * (values.get(key, 0.0) - self._last_values.get(key, 0.0))
+                for key in sorted(keys)
+            }
+            sample = MetricsSample(cycle=grid, values=point)
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(sample)
+            self.total_emitted += 1
+            new.append(sample)
+        self._last_cycle = cycle
+        self._last_values = values
+        return new
+
+    # ---- access -------------------------------------------------------
+    @property
+    def samples(self) -> List[MetricsSample]:
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def deltas(self) -> List[MetricsSample]:
+        """Per-interval activity: consecutive-sample differences.
+
+        The derivative view ("GB reads during this window") that
+        utilization-over-time plots want, as opposed to the cumulative
+        values :attr:`samples` holds.
+        """
+        result: List[MetricsSample] = []
+        previous: Optional[MetricsSample] = None
+        for sample in self._ring:
+            if previous is not None:
+                keys = previous.values.keys() | sample.values.keys()
+                result.append(MetricsSample(
+                    cycle=sample.cycle,
+                    values={
+                        key: sample.values.get(key, 0.0) - previous.values.get(key, 0.0)
+                        for key in sorted(keys)
+                    },
+                ))
+            previous = sample
+        return result
+
+    def columns(self) -> List[str]:
+        keys: set = set()
+        for sample in self._ring:
+            keys.update(sample.values)
+        return sorted(keys)
+
+    # ---- exporters ----------------------------------------------------
+    def to_csv(self, path: Optional[Union[str, Path]] = None,
+               cumulative: bool = False) -> str:
+        """CSV with one row per sample (per-interval deltas by default)."""
+        columns = self.columns()
+        rows = ["cycle," + ",".join(columns)]
+        series = self.samples if cumulative else self.deltas()
+        for sample in series:
+            cells = [str(sample.cycle)]
+            for column in columns:
+                value = sample.values.get(column, 0.0)
+                cells.append(f"{value:g}")
+            rows.append(",".join(cells))
+        text = "\n".join(rows) + "\n"
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        payload = {
+            "every": self.every,
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "samples": [
+                {"cycle": s.cycle, "values": dict(s.values)} for s in self._ring
+            ],
+        }
+        text = json.dumps(payload, indent=2)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for report attachment."""
+        return {
+            "metrics_every": float(self.every),
+            "metrics_samples": float(len(self._ring)),
+            "metrics_dropped": float(self.dropped),
+        }
+
+
+def utilization_series(recorder: MetricsRecorder, num_ms: int) -> List[Dict[str, float]]:
+    """Multiplier-utilization-over-time derived from the recorded deltas."""
+    if num_ms < 1:
+        raise ValueError("num_ms must be >= 1")
+    rows: List[Dict[str, float]] = []
+    for delta in recorder.deltas():
+        mults = delta.values.get("mn_multiplications", 0.0)
+        window = recorder.every
+        rows.append({
+            "cycle": float(delta.cycle),
+            "utilization": min(1.0, mults / (num_ms * window)) if window else 0.0,
+        })
+    return rows

@@ -1,0 +1,124 @@
+"""Wall-clock profiling hooks for the simulator itself.
+
+Unlike the tracer and metrics recorder — which observe the *simulated*
+machine on its cycle axis — the profiler observes the *simulator*: where
+Python wall-clock time goes while producing those cycles. The engines
+bracket their work in named phases (``map``, ``distribute``, ``compute``,
+``reduce``, ``drain``, plus ``functional`` for the NumPy execution), so
+``--profile`` answers "what would a performance PR need to speed up?".
+
+The disabled path hands out one preallocated no-op context manager, so an
+unprofiled simulation pays a single attribute lookup per phase.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+
+class _NullPhase:
+    """Reusable do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullProfiler:
+    """The disabled profiler: ``phase()`` returns a shared no-op context."""
+
+    enabled = False
+
+    def phase(self, name: str) -> _NullPhase:
+        return _NULL_PHASE
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+
+#: process-wide singleton — the default profiler of every component
+NULL_PROFILER = NullProfiler()
+
+
+class _Phase:
+    """Times one ``with profiler.phase(name):`` block."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler._record(self._name, time.perf_counter() - self._start)
+        return None
+
+
+class Profiler(NullProfiler):
+    """Accumulates wall-clock seconds and call counts per named phase."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    def phase(self, name: str) -> _Phase:
+        return _Phase(self, name)
+
+    def _record(self, name: str, seconds: float) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    @property
+    def phases(self) -> List[str]:
+        return sorted(self._seconds)
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        return self._calls.get(name, 0)
+
+    def total_seconds(self) -> float:
+        return sum(self._seconds.values())
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        total = self.total_seconds()
+        return {
+            name: {
+                "seconds": self._seconds[name],
+                "calls": float(self._calls[name]),
+                "share": self._seconds[name] / total if total else 0.0,
+            }
+            for name in sorted(self._seconds, key=self._seconds.get, reverse=True)
+        }
+
+    def format_summary(self) -> str:
+        """Human-readable table, largest phase first."""
+        lines = [f"{'phase':<14s} {'calls':>8s} {'wall ms':>10s} {'share':>7s}"]
+        for name, row in self.summary().items():
+            lines.append(
+                f"{name:<14s} {int(row['calls']):>8d} "
+                f"{row['seconds'] * 1e3:>10.3f} {row['share']:>6.1%}"
+            )
+        lines.append(
+            f"{'total':<14s} {'':>8s} {self.total_seconds() * 1e3:>10.3f} {'100.0%':>7s}"
+        )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._seconds.clear()
+        self._calls.clear()

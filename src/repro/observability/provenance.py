@@ -1,0 +1,68 @@
+"""Run provenance: who/what/when metadata stamped on every report.
+
+A statistics file that cannot be traced back to the exact configuration,
+package version and seed that produced it is a liability once results
+are compared across machines or months. :func:`run_metadata` collects
+the reproducibility-relevant facts; :func:`config_hash` gives a stable
+short digest of a :class:`~repro.config.hardware.HardwareConfig` so two
+reports can be matched ("same hardware point?") without diffing every
+field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import platform
+from datetime import datetime, timezone
+from typing import Dict, Optional
+
+from repro.config.hardware import HardwareConfig
+from repro.version import __version__
+
+
+def _jsonable(value):
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def config_digest_source(config: HardwareConfig) -> str:
+    """The canonical JSON text the config hash is computed over."""
+    return json.dumps(_jsonable(config), sort_keys=True)
+
+
+def config_hash(config: HardwareConfig) -> str:
+    """Short stable digest identifying a hardware configuration."""
+    return hashlib.sha256(
+        config_digest_source(config).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def run_metadata(config: Optional[HardwareConfig] = None,
+                 seed: Optional[int] = None) -> Dict[str, object]:
+    """Provenance record for one simulation run."""
+    import numpy
+
+    metadata: Dict[str, object] = {
+        "tool": "stonne-repro",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    if config is not None:
+        metadata["config_name"] = config.name
+        metadata["config_hash"] = config_hash(config)
+    if seed is not None:
+        metadata["seed"] = int(seed)
+    return metadata

@@ -1,0 +1,257 @@
+"""Cycle-level event tracing.
+
+The simulator fast-forwards through steady phases, so a trace is not a
+log of ``cycle()`` calls: engine components emit *spans* — named windows
+on the simulated-cycle axis ("this DN delivered operands during cycles
+[120, 152)") — plus instant and counter events. :class:`Tracer` collects
+them; :class:`NullTracer` is the always-installed no-op fast path, so an
+untraced simulation pays only an attribute lookup and a predictable
+``if tracer.enabled`` branch per phase.
+
+Timestamps are **accelerator clock cycles**, not wall time. The Chrome
+exporter writes cycles into the ``ts``/``dur`` microsecond fields, so in
+``chrome://tracing`` / Perfetto one displayed microsecond equals one
+simulated cycle (the ``otherData.time_unit`` field records this).
+
+Two exporters are provided:
+
+- :meth:`Tracer.to_chrome` — the Chrome ``trace_event`` JSON object
+  format (``{"traceEvents": [...]}``) with per-component thread lanes,
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev;
+- :meth:`Tracer.to_jsonl` — one plain JSON object per line, for ad-hoc
+  scripting (``jq``, pandas).
+
+:func:`parse_chrome_trace` reads the Chrome format back into
+:class:`TraceEvent` records (the schema round-trip the tests pin down).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import SimulationError
+
+#: Chrome trace_event phase codes used by this tracer.
+PHASE_SPAN = "X"      # complete event (ts + dur)
+PHASE_INSTANT = "i"   # instant event
+PHASE_COUNTER = "C"   # counter sample
+PHASE_METADATA = "M"  # thread/process naming
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record on the simulated-cycle timeline."""
+
+    name: str
+    component: str
+    phase: str
+    start: int
+    duration: int = 0
+    depth: int = 0
+    args: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Installed on every :class:`~repro.noc.base.ClockedComponent` by
+    default so emission sites never need a ``None`` check; the
+    ``enabled`` flag lets hot paths skip building event arguments
+    entirely. The contract — no state, no allocation, no recorded
+    events — is pinned by ``tests/unit/test_tracer.py``.
+    """
+
+    enabled = False
+    events: Tuple[TraceEvent, ...] = ()
+
+    def span(self, name: str, component: str, start: int, end: int, **args) -> None:
+        pass
+
+    def begin(self, name: str, component: str, cycle: int, **args) -> None:
+        pass
+
+    def end(self, cycle: int, **args) -> None:
+        pass
+
+    def instant(self, name: str, component: str, cycle: int, **args) -> None:
+        pass
+
+    def counter(self, name: str, component: str, cycle: int,
+                values: Mapping[str, float]) -> None:
+        pass
+
+
+#: process-wide singleton — the default tracer of every component
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Collects span / instant / counter events on the cycle timeline."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        # (name, component, start_cycle, args) of the open begin() spans
+        self._stack: List[Tuple[str, str, int, Dict[str, object]]] = []
+
+    # ---- emission -----------------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:  # type: ignore[override]
+        return self._events
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def span(self, name: str, component: str, start: int, end: int, **args) -> None:
+        """Record a closed window [start, end) as one complete event."""
+        if end < start:
+            raise SimulationError(
+                f"span {name!r} ends before it starts ({end} < {start})"
+            )
+        self._events.append(TraceEvent(
+            name=name, component=component, phase=PHASE_SPAN,
+            start=int(start), duration=int(end - start),
+            depth=len(self._stack), args=dict(args),
+        ))
+
+    def begin(self, name: str, component: str, cycle: int, **args) -> None:
+        """Open a nested span; close it with :meth:`end`."""
+        self._stack.append((name, component, int(cycle), dict(args)))
+
+    def end(self, cycle: int, **args) -> None:
+        """Close the innermost open span at ``cycle``."""
+        if not self._stack:
+            raise SimulationError("Tracer.end() without a matching begin()")
+        name, component, start, open_args = self._stack.pop()
+        if cycle < start:
+            raise SimulationError(
+                f"span {name!r} ends before it starts ({cycle} < {start})"
+            )
+        open_args.update(args)
+        self._events.append(TraceEvent(
+            name=name, component=component, phase=PHASE_SPAN,
+            start=start, duration=int(cycle) - start,
+            depth=len(self._stack), args=open_args,
+        ))
+
+    def instant(self, name: str, component: str, cycle: int, **args) -> None:
+        self._events.append(TraceEvent(
+            name=name, component=component, phase=PHASE_INSTANT,
+            start=int(cycle), depth=len(self._stack), args=dict(args),
+        ))
+
+    def counter(self, name: str, component: str, cycle: int,
+                values: Mapping[str, float]) -> None:
+        """Record a counter sample (rendered as stacked area tracks)."""
+        self._events.append(TraceEvent(
+            name=name, component=component, phase=PHASE_COUNTER,
+            start=int(cycle), args={k: float(v) for k, v in values.items()},
+        ))
+
+    def clear(self) -> None:
+        self._events = []
+        self._stack = []
+
+    # ---- exporters ----------------------------------------------------
+    def _thread_ids(self) -> Dict[str, int]:
+        """Stable component → tid mapping in first-appearance order."""
+        tids: Dict[str, int] = {}
+        for event in self._events:
+            if event.component not in tids:
+                tids[event.component] = len(tids)
+        return tids
+
+    def to_chrome(self, path: Optional[Union[str, Path]] = None,
+                  metadata: Optional[Mapping[str, object]] = None) -> str:
+        """Serialize to Chrome ``trace_event`` JSON (object format)."""
+        if self._stack:
+            raise SimulationError(
+                f"{len(self._stack)} span(s) still open; end() them before export"
+            )
+        tids = self._thread_ids()
+        records: List[Dict[str, object]] = [{
+            "name": "process_name", "ph": PHASE_METADATA, "pid": 0, "tid": 0,
+            "args": {"name": "stonne-repro"},
+        }]
+        for component, tid in tids.items():
+            records.append({
+                "name": "thread_name", "ph": PHASE_METADATA, "pid": 0,
+                "tid": tid, "args": {"name": component},
+            })
+        for event in self._events:
+            record: Dict[str, object] = {
+                "name": event.name, "ph": event.phase, "pid": 0,
+                "tid": tids[event.component], "ts": event.start,
+            }
+            if event.phase == PHASE_SPAN:
+                record["dur"] = event.duration
+            if event.phase == PHASE_INSTANT:
+                record["s"] = "t"  # thread-scoped instant
+            args: Dict[str, object] = dict(event.args)
+            if event.phase == PHASE_SPAN and event.depth:
+                args.setdefault("depth", event.depth)
+            if args or event.phase == PHASE_COUNTER:
+                record["args"] = args
+            records.append(record)
+        payload: Dict[str, object] = {
+            "traceEvents": records,
+            "displayTimeUnit": "ms",
+            "otherData": {"time_unit": "cycle", **dict(metadata or {})},
+        }
+        text = json.dumps(payload, indent=1)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def to_jsonl(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialize to one JSON object per line."""
+        lines = []
+        for event in self._events:
+            lines.append(json.dumps({
+                "name": event.name, "component": event.component,
+                "phase": event.phase, "start": event.start,
+                "duration": event.duration, "depth": event.depth,
+                "args": dict(event.args),
+            }, sort_keys=True))
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+
+def parse_chrome_trace(text: str) -> List[TraceEvent]:
+    """Read a Chrome trace JSON produced by :meth:`Tracer.to_chrome`
+    back into :class:`TraceEvent` records (metadata events excluded)."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("not a Chrome trace object: missing 'traceEvents'")
+    names: Dict[int, str] = {}
+    for record in payload["traceEvents"]:
+        if record.get("ph") == PHASE_METADATA and record.get("name") == "thread_name":
+            names[int(record["tid"])] = str(record["args"]["name"])
+    events: List[TraceEvent] = []
+    for record in payload["traceEvents"]:
+        phase = record.get("ph")
+        if phase == PHASE_METADATA:
+            continue
+        args = dict(record.get("args", {}))
+        depth = int(args.pop("depth", 0))
+        events.append(TraceEvent(
+            name=str(record["name"]),
+            component=names.get(int(record["tid"]), str(record["tid"])),
+            phase=str(phase),
+            start=int(record["ts"]),
+            duration=int(record.get("dur", 0)),
+            depth=depth,
+            args=args,
+        ))
+    return events

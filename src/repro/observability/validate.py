@@ -1,0 +1,130 @@
+"""Chrome trace-event JSON schema validation.
+
+:func:`validate_chrome_trace` checks the structural contract the
+exporter promises (and ``chrome://tracing`` / Perfetto require): object
+format with a ``traceEvents`` list, well-formed phase codes, numeric
+non-negative timestamps/durations, and a ``thread_name`` metadata event
+for every thread lane in use.
+
+Runnable as a module for CI smoke checks::
+
+    python -m repro.observability.validate trace.json --expect DN: --expect RN:
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+#: phase codes the repro tracer emits
+KNOWN_PHASES = {"X", "i", "C", "M"}
+
+
+def validate_chrome_trace(payload: object) -> dict:
+    """Validate a parsed Chrome trace object; returns summary statistics.
+
+    Raises :class:`ValueError` describing the first violation found.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace must be a JSON object (Chrome object format)")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must carry a 'traceEvents' list")
+    if not events:
+        raise ValueError("trace has no events")
+
+    named_tids = set()
+    used_tids = set()
+    spans = instants = counters = 0
+    span_names = set()
+    for index, record in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(record, dict):
+            raise ValueError(f"{where}: event is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in record:
+                raise ValueError(f"{where}: missing required field {key!r}")
+        phase = record["ph"]
+        if phase not in KNOWN_PHASES:
+            raise ValueError(f"{where}: unknown phase code {phase!r}")
+        if not isinstance(record["name"], str) or not record["name"]:
+            raise ValueError(f"{where}: event name must be a non-empty string")
+        if phase == "M":
+            if record["name"] == "thread_name":
+                named_tids.add(record["tid"])
+            continue
+        used_tids.add(record["tid"])
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: 'ts' must be a non-negative number")
+        if phase == "X":
+            dur = record.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"{where}: complete event needs a non-negative 'dur'"
+                )
+            spans += 1
+            span_names.add(record["name"])
+        elif phase == "i":
+            instants += 1
+        elif phase == "C":
+            args = record.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(value, (int, float)) for value in args.values()
+            ):
+                raise ValueError(
+                    f"{where}: counter event needs numeric 'args' values"
+                )
+            counters += 1
+    unnamed = used_tids - named_tids
+    if unnamed:
+        raise ValueError(
+            f"thread lanes without thread_name metadata: {sorted(unnamed)}"
+        )
+    if spans == 0:
+        raise ValueError("trace contains no spans (phase 'X' events)")
+    return {
+        "events": len(events),
+        "spans": spans,
+        "instants": instants,
+        "counters": counters,
+        "threads": len(used_tids),
+        "span_names": sorted(span_names),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.validate",
+        description="validate a Chrome trace-event JSON file",
+    )
+    parser.add_argument("trace", help="path to the trace JSON")
+    parser.add_argument(
+        "--expect", action="append", default=[],
+        help="require at least one span whose name starts with this prefix "
+             "(repeatable)",
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.trace)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        stats = validate_chrome_trace(payload)
+        for prefix in args.expect:
+            if not any(name.startswith(prefix) for name in stats["span_names"]):
+                raise ValueError(f"no span named {prefix}*")
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"invalid trace {path}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"valid trace: {stats['events']} events "
+        f"({stats['spans']} spans, {stats['counters']} counter samples, "
+        f"{stats['instants']} instants) across {stats['threads']} lanes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,8 @@ from repro.config import (
 )
 from repro.engine.accelerator import Accelerator
 from repro.errors import StonneError
+from repro.observability import Observability
+from repro.version import __version__
 
 
 def _build_config(args: argparse.Namespace) -> HardwareConfig:
@@ -69,6 +71,18 @@ def _add_hw_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="tensor RNG seed")
     parser.add_argument("--json", action="store_true",
                         help="print the full JSON statistics report")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a cycle-level event trace to PATH")
+    parser.add_argument("--trace-format", choices=("chrome", "jsonl"),
+                        default="chrome",
+                        help="trace format: chrome://tracing JSON or JSONL")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write the counter time series (CSV) to PATH")
+    parser.add_argument("--metrics-every", type=int, default=0, metavar="N",
+                        help="sample counters every N cycles "
+                             "(default 64 when --metrics is given)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a wall-clock phase profile of the simulator")
 
 
 def _parse_tile(text: Optional[str]) -> Optional[TileConfig]:
@@ -82,6 +96,46 @@ def _parse_tile(text: Optional[str]) -> Optional[TileConfig]:
         )
     keys = ("t_r", "t_s", "t_c", "t_g", "t_k", "t_n", "t_x", "t_y")
     return TileConfig(**dict(zip(keys, values)))
+
+
+def _make_observability(args: argparse.Namespace) -> Observability:
+    """Build the observability context the run flags ask for."""
+    metrics_every = args.metrics_every
+    if args.metrics and not metrics_every:
+        metrics_every = 64
+    if metrics_every < 0:
+        raise StonneError("--metrics-every must be >= 0")
+    return Observability.create(
+        trace=bool(args.trace),
+        metrics_every=metrics_every,
+        profile=args.profile,
+    )
+
+
+def _finish_observability(acc: Accelerator, args: argparse.Namespace) -> None:
+    """Export the traces/metrics/profile an instrumented run collected."""
+    obs = acc.obs
+    acc.report.metadata["seed"] = args.seed
+    if args.trace:
+        try:
+            if args.trace_format == "jsonl":
+                obs.tracer.to_jsonl(args.trace)
+            else:
+                obs.tracer.to_chrome(args.trace,
+                                     metadata=dict(acc.report.metadata))
+        except OSError as exc:
+            raise StonneError(f"cannot write trace to {args.trace}: {exc}")
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics and obs.metrics is not None:
+        try:
+            obs.metrics.to_csv(args.metrics)
+        except OSError as exc:
+            raise StonneError(f"cannot write metrics to {args.metrics}: {exc}")
+        print(f"metrics written to {args.metrics} "
+              f"({len(obs.metrics)} samples, every "
+              f"{obs.metrics.every} cycles)", file=sys.stderr)
+    if args.profile:
+        print(obs.profiler.format_summary(), file=sys.stderr)
 
 
 def _report(acc: Accelerator, as_json: bool) -> None:
@@ -100,7 +154,7 @@ def _report(acc: Accelerator, as_json: bool) -> None:
 
 def _cmd_conv(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
-    acc = Accelerator(_build_config(args))
+    acc = Accelerator(_build_config(args), observability=_make_observability(args))
     weights = rng.standard_normal(
         (args.K * args.G, args.C, args.R, args.S)
     ).astype(np.float32)
@@ -111,13 +165,14 @@ def _cmd_conv(args: argparse.Namespace) -> int:
         weights, activations, stride=args.strides, groups=args.G,
         tile=_parse_tile(args.tile), name="cli-conv",
     )
+    _finish_observability(acc, args)
     _report(acc, args.json)
     return 0
 
 
 def _cmd_gemm(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
-    acc = Accelerator(_build_config(args))
+    acc = Accelerator(_build_config(args), observability=_make_observability(args))
     a = rng.standard_normal((args.M, args.K)).astype(np.float32)
     b = rng.standard_normal((args.K, args.N)).astype(np.float32)
     if args.sparsity:
@@ -128,6 +183,7 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
         acc.run_spmm(a, b, name="cli-spmm")
     else:
         acc.run_gemm(a, b, name="cli-gemm")
+    _finish_observability(acc, args)
     _report(acc, args.json)
     return 0
 
@@ -138,10 +194,11 @@ def _cmd_model(args: argparse.Namespace) -> int:
 
     model = build_model(args.name, seed=args.seed, prune=not args.dense)
     x = model_input(args.name, batch=args.batch, seed=args.seed + 1)
-    acc = Accelerator(_build_config(args))
+    acc = Accelerator(_build_config(args), observability=_make_observability(args))
     simulate(model, acc)
     model(x)
     detach_context(model)
+    _finish_observability(acc, args)
     _report(acc, args.json)
     return 0
 
@@ -193,6 +250,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="stonne",
         description="STONNE reproduction: cycle-level DNN accelerator simulation",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

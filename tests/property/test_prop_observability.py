@@ -1,0 +1,83 @@
+"""Property tests: metrics-grid invariants and the Chrome round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.metrics import MetricsRecorder
+from repro.observability.tracer import Tracer, parse_chrome_trace
+
+# monotonically non-decreasing observation streams: (cycle delta, value delta)
+observations = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 1000)),
+    min_size=1, max_size=20,
+)
+
+
+@given(observations, st.integers(1, 64))
+@settings(max_examples=80, deadline=None)
+def test_samples_land_exactly_on_grid(steps, every):
+    rec = MetricsRecorder(every=every)
+    cycle, value = 0, 0
+    for dc, dv in steps:
+        cycle += dc
+        value += dv
+        rec.observe(cycle, {"x": float(value)})
+    assert all(s.cycle % every == 0 and s.cycle > 0 for s in rec.samples)
+    # one sample per grid point in (0, cycle], no gaps, no duplicates
+    assert [s.cycle for s in rec.samples] == list(
+        range(every, cycle + 1, every)
+    )[-len(rec.samples):]
+    assert rec.total_emitted == cycle // every
+
+
+@given(observations, st.integers(1, 64))
+@settings(max_examples=80, deadline=None)
+def test_interpolation_is_monotone_and_bounded(steps, every):
+    rec = MetricsRecorder(every=every)
+    cycle, value = 0, 0
+    for dc, dv in steps:
+        cycle += dc
+        value += dv
+        rec.observe(cycle, {"x": float(value)})
+    series = [s.values["x"] for s in rec.samples]
+    assert all(a <= b for a, b in zip(series, series[1:]))
+    assert all(0.0 <= v <= value for v in series)
+
+
+@given(observations, st.integers(1, 32), st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_ring_never_exceeds_capacity(steps, every, capacity):
+    rec = MetricsRecorder(every=every, capacity=capacity)
+    cycle = 0
+    for dc, dv in steps:
+        cycle += dc
+        rec.observe(cycle, {"x": float(dv)} if dv else {})
+    assert len(rec) <= capacity
+    assert rec.dropped == max(0, rec.total_emitted - capacity)
+
+
+span_names = st.text(
+    alphabet=st.characters(codec="ascii", exclude_characters="\x00",
+                           min_codepoint=32),
+    min_size=1, max_size=12,
+)
+spans = st.lists(
+    st.tuples(span_names, span_names, st.integers(0, 10_000),
+              st.integers(0, 500)),
+    min_size=1, max_size=25,
+)
+
+
+@given(spans)
+@settings(max_examples=80, deadline=None)
+def test_chrome_round_trip_preserves_spans(records):
+    tracer = Tracer()
+    for name, component, start, duration in records:
+        tracer.span(name, component, start, start + duration)
+    parsed = parse_chrome_trace(tracer.to_chrome())
+    assert len(parsed) == len(records)
+    for event, (name, component, start, duration) in zip(parsed, records):
+        assert event.name == name
+        assert event.component == component
+        assert event.start == start
+        assert event.duration == duration

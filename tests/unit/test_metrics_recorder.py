@@ -1,0 +1,149 @@
+"""Metrics time-series: sampling cadence, interpolation, ring bounds."""
+
+import json
+
+import pytest
+
+from repro.noc.base import CounterSet
+from repro.observability.metrics import (
+    MetricsRecorder,
+    MetricsSample,
+    utilization_series,
+)
+
+
+def test_cadence_one_sample_per_grid_point():
+    rec = MetricsRecorder(every=10)
+    new = rec.observe(25, {"x": 50.0})
+    assert [s.cycle for s in new] == [10, 20]
+    new = rec.observe(40, {"x": 80.0})
+    assert [s.cycle for s in new] == [30, 40]
+    assert [s.cycle for s in rec.samples] == [10, 20, 30, 40]
+
+
+def test_linear_interpolation_within_phase():
+    rec = MetricsRecorder(every=10)
+    rec.observe(40, {"x": 80.0})
+    # uniform activity 0..40 => x grows 2/cycle
+    assert [s.values["x"] for s in rec.samples] == [20.0, 40.0, 60.0, 80.0]
+
+
+def test_observation_on_grid_point_is_exact():
+    rec = MetricsRecorder(every=16)
+    rec.observe(16, {"x": 7.0})
+    (sample,) = rec.samples
+    assert sample.cycle == 16
+    assert sample.values["x"] == 7.0
+
+
+def test_observations_between_grid_points_emit_nothing():
+    rec = MetricsRecorder(every=100)
+    assert rec.observe(30, {"x": 1.0}) == []
+    assert rec.observe(60, {"x": 2.0}) == []
+    assert len(rec) == 0
+    (sample,) = rec.observe(150, {"x": 5.0})
+    assert sample.cycle == 100
+    # interpolated between the (60, 2.0) and (150, 5.0) observations
+    assert sample.values["x"] == pytest.approx(2.0 + (40 / 90) * 3.0)
+
+
+def test_backwards_cycle_raises():
+    rec = MetricsRecorder(every=8)
+    rec.observe(32, {"x": 1.0})
+    with pytest.raises(ValueError):
+        rec.observe(31, {"x": 2.0})
+
+
+def test_same_cycle_observation_is_allowed():
+    rec = MetricsRecorder(every=8)
+    rec.observe(8, {"x": 1.0})
+    assert rec.observe(8, {"x": 1.0}) == []
+
+
+def test_accepts_counterset():
+    cs = CounterSet()
+    cs.add("gb_reads", 64)
+    rec = MetricsRecorder(every=4)
+    rec.observe(4, cs)
+    assert rec.samples[0].values["gb_reads"] == 64.0
+
+
+def test_new_keys_appear_as_zero_before_first_observation():
+    rec = MetricsRecorder(every=10)
+    rec.observe(10, {"a": 10.0})
+    rec.observe(20, {"a": 10.0, "b": 4.0})
+    assert rec.samples[1].values == {"a": 10.0, "b": 4.0}
+
+
+def test_ring_capacity_and_dropped():
+    rec = MetricsRecorder(every=1, capacity=4)
+    rec.observe(10, {"x": 10.0})
+    assert len(rec) == 4
+    assert [s.cycle for s in rec.samples] == [7, 8, 9, 10]
+    assert rec.dropped == 6
+    assert rec.total_emitted == 10
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        MetricsRecorder(every=0)
+    with pytest.raises(ValueError):
+        MetricsRecorder(every=4, capacity=0)
+
+
+def test_deltas_are_consecutive_differences():
+    rec = MetricsRecorder(every=10)
+    rec.observe(30, {"x": 90.0})
+    deltas = rec.deltas()
+    assert [d.cycle for d in deltas] == [20, 30]
+    assert [d.values["x"] for d in deltas] == [30.0, 30.0]
+
+
+def test_csv_export_shapes(tmp_path):
+    rec = MetricsRecorder(every=10)
+    rec.observe(30, {"x": 30.0, "y": 3.0})
+    text = rec.to_csv()
+    lines = text.strip().splitlines()
+    assert lines[0] == "cycle,x,y"
+    assert len(lines) == 1 + 2  # header + 2 delta rows
+    cumulative = rec.to_csv(cumulative=True).strip().splitlines()
+    assert len(cumulative) == 1 + 3
+    path = tmp_path / "m.csv"
+    rec.to_csv(path)
+    assert path.read_text(encoding="utf-8") == text
+
+
+def test_json_export(tmp_path):
+    rec = MetricsRecorder(every=5, capacity=8)
+    rec.observe(10, {"x": 2.0})
+    path = tmp_path / "m.json"
+    rec.to_json(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["every"] == 5
+    assert payload["capacity"] == 8
+    assert payload["dropped"] == 0
+    assert [s["cycle"] for s in payload["samples"]] == [5, 10]
+
+
+def test_summary_keys():
+    rec = MetricsRecorder(every=5)
+    rec.observe(10, {"x": 1.0})
+    assert rec.summary() == {
+        "metrics_every": 5.0, "metrics_samples": 2.0, "metrics_dropped": 0.0,
+    }
+
+
+def test_utilization_series():
+    rec = MetricsRecorder(every=10)
+    # 4 multipliers, fully busy: 40 mults per 10-cycle window
+    rec.observe(20, {"mn_multiplications": 80.0})
+    rows = utilization_series(rec, num_ms=4)
+    assert [r["utilization"] for r in rows] == [1.0]
+    with pytest.raises(ValueError):
+        utilization_series(rec, num_ms=0)
+
+
+def test_sample_is_frozen():
+    sample = MetricsSample(cycle=1, values={"x": 1.0})
+    with pytest.raises(AttributeError):
+        sample.cycle = 2

@@ -1,0 +1,82 @@
+"""Wall-clock phase profiling: the null contract and the accumulator."""
+
+from repro.observability.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+)
+
+
+def test_null_profiler_contract():
+    null = NullProfiler()
+    assert null.enabled is False
+    with null.phase("compute"):
+        pass
+    assert null.summary() == {}
+    # the disabled path hands out one shared context manager, no allocation
+    assert null.phase("a") is null.phase("b")
+    assert NULL_PROFILER.phase("x") is null.phase("x")
+
+
+def test_profiler_accumulates_time_and_calls():
+    prof = Profiler()
+    assert prof.enabled is True
+    for _ in range(3):
+        with prof.phase("compute"):
+            sum(range(100))
+    with prof.phase("map"):
+        pass
+    assert prof.calls("compute") == 3
+    assert prof.calls("map") == 1
+    assert prof.seconds("compute") > 0.0
+    assert prof.phases == ["compute", "map"]
+    assert prof.total_seconds() >= prof.seconds("compute")
+
+
+def test_summary_shares_sum_to_one():
+    prof = Profiler()
+    with prof.phase("a"):
+        sum(range(1000))
+    with prof.phase("b"):
+        sum(range(1000))
+    summary = prof.summary()
+    assert set(summary) == {"a", "b"}
+    assert sum(row["share"] for row in summary.values()) == 1.0
+    for row in summary.values():
+        assert set(row) == {"seconds", "calls", "share"}
+
+
+def test_phase_records_on_exception():
+    prof = Profiler()
+    try:
+        with prof.phase("risky"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert prof.calls("risky") == 1
+
+
+def test_format_summary_table():
+    prof = Profiler()
+    with prof.phase("compute"):
+        pass
+    text = prof.format_summary()
+    lines = text.splitlines()
+    assert "phase" in lines[0]
+    assert any(line.startswith("compute") for line in lines)
+    assert lines[-1].startswith("total")
+
+
+def test_reset():
+    prof = Profiler()
+    with prof.phase("x"):
+        pass
+    prof.reset()
+    assert prof.summary() == {}
+    assert prof.total_seconds() == 0.0
+
+
+def test_unknown_phase_queries_are_zero():
+    prof = Profiler()
+    assert prof.seconds("nope") == 0.0
+    assert prof.calls("nope") == 0

@@ -1,0 +1,201 @@
+"""Event tracing: the null contract, span nesting, and the exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    parse_chrome_trace,
+)
+from repro.observability.validate import validate_chrome_trace
+
+
+# ---- NullTracer: the disabled fast path -----------------------------------
+def test_null_tracer_is_disabled_and_stateless():
+    null = NullTracer()
+    assert null.enabled is False
+    null.span("a", "comp", 0, 10, detail=1)
+    null.begin("b", "comp", 0)
+    null.end(5)
+    null.instant("c", "comp", 3)
+    null.counter("d", "comp", 4, {"x": 1.0})
+    assert null.events == ()
+
+
+def test_null_tracer_singleton_records_nothing():
+    NULL_TRACER.span("a", "comp", 0, 10)
+    assert NULL_TRACER.events == ()
+    assert NULL_TRACER.enabled is False
+
+
+def test_null_end_without_begin_does_not_raise():
+    NullTracer().end(7)
+
+
+# ---- Tracer: emission ------------------------------------------------------
+def test_span_records_window():
+    tracer = Tracer()
+    tracer.span("DN:deliver", "dn", 10, 42, steps=4)
+    (event,) = tracer.events
+    assert event.name == "DN:deliver"
+    assert event.component == "dn"
+    assert event.phase == "X"
+    assert (event.start, event.duration, event.end) == (10, 32, 42)
+    assert event.args == {"steps": 4}
+    assert event.depth == 0
+
+
+def test_span_rejects_negative_window():
+    with pytest.raises(SimulationError):
+        Tracer().span("bad", "comp", 10, 9)
+
+
+def test_begin_end_nesting_depth():
+    tracer = Tracer()
+    tracer.begin("layer", "acc", 0)
+    tracer.span("inner", "dn", 2, 6)
+    tracer.begin("round", "ctrl", 6)
+    tracer.span("deep", "mn", 6, 8)
+    tracer.end(9)
+    tracer.end(12, cycles=12)
+    by_name = {e.name: e for e in tracer.events}
+    assert by_name["inner"].depth == 1
+    assert by_name["deep"].depth == 2
+    assert by_name["round"].depth == 1
+    assert by_name["layer"].depth == 0
+    # end() merges its kwargs into the begin() args
+    assert by_name["layer"].args == {"cycles": 12}
+    assert tracer.open_spans == 0
+
+
+def test_end_without_begin_raises():
+    with pytest.raises(SimulationError):
+        Tracer().end(5)
+
+
+def test_end_before_begin_cycle_raises():
+    tracer = Tracer()
+    tracer.begin("x", "comp", 10)
+    with pytest.raises(SimulationError):
+        tracer.end(9)
+
+
+def test_clear_resets_events_and_stack():
+    tracer = Tracer()
+    tracer.begin("x", "comp", 0)
+    tracer.span("y", "comp", 0, 1)
+    tracer.clear()
+    assert tracer.events == []
+    assert tracer.open_spans == 0
+
+
+# ---- Chrome exporter -------------------------------------------------------
+def _sample_tracer():
+    tracer = Tracer()
+    tracer.begin("layer:conv", "accelerator", 0)
+    tracer.span("DN:deliver", "dn", 4, 20, steps=2)
+    tracer.span("MN:multiply", "mn", 4, 20)
+    tracer.instant("stall", "gb", 21)
+    tracer.counter("activity", "metrics", 16, {"gb_reads": 32.0})
+    tracer.end(24, cycles=24)
+    return tracer
+
+
+def test_to_chrome_schema():
+    text = _sample_tracer().to_chrome(metadata={"seed": 0})
+    payload = json.loads(text)
+    events = payload["traceEvents"]
+    assert payload["otherData"]["time_unit"] == "cycle"
+    assert payload["otherData"]["seed"] == 0
+    phases = [e["ph"] for e in events]
+    assert phases.count("M") == 1 + 5  # process_name + one lane per component
+    # every non-metadata event targets a named lane
+    names = {e["tid"]: e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    for event in events:
+        if event["ph"] != "M":
+            assert event["tid"] in names
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {s["name"] for s in spans} == {"layer:conv", "DN:deliver", "MN:multiply"}
+    assert all("dur" in s for s in spans)
+    stats = validate_chrome_trace(payload)
+    assert stats["spans"] == 3
+    assert stats["instants"] == 1
+    assert stats["counters"] == 1
+
+
+def test_chrome_round_trip():
+    tracer = _sample_tracer()
+    parsed = parse_chrome_trace(tracer.to_chrome())
+    # exporter writes in emission order; round-trip preserves the records
+    assert len(parsed) == len(tracer.events)
+    originals = {(e.name, e.phase): e for e in tracer.events}
+    for event in parsed:
+        original = originals[(event.name, event.phase)]
+        assert event.component == original.component
+        assert event.start == original.start
+        assert event.duration == original.duration
+        if event.phase == "X":  # depth is serialized for spans only
+            assert event.depth == original.depth
+
+
+def test_to_chrome_with_open_span_raises():
+    tracer = Tracer()
+    tracer.begin("x", "comp", 0)
+    with pytest.raises(SimulationError):
+        tracer.to_chrome()
+
+
+def test_to_chrome_writes_file(tmp_path):
+    path = tmp_path / "trace.json"
+    _sample_tracer().to_chrome(path)
+    validate_chrome_trace(json.loads(path.read_text(encoding="utf-8")))
+
+
+# ---- JSONL exporter --------------------------------------------------------
+def test_to_jsonl_one_object_per_event():
+    tracer = _sample_tracer()
+    lines = tracer.to_jsonl().strip().splitlines()
+    assert len(lines) == len(tracer.events)
+    first = json.loads(lines[0])
+    assert set(first) == {
+        "name", "component", "phase", "start", "duration", "depth", "args"
+    }
+
+
+def test_to_jsonl_empty_tracer():
+    assert Tracer().to_jsonl() == ""
+
+
+# ---- validator -------------------------------------------------------------
+def test_validate_rejects_garbage():
+    with pytest.raises(ValueError):
+        validate_chrome_trace(["not", "an", "object"])
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": []})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [{"name": "x", "ph": "Z",
+                                                "pid": 0, "tid": 0}]})
+
+
+def test_validate_rejects_unnamed_lane():
+    # an X event on a tid with no thread_name metadata
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 0, "tid": 3, "ts": 0, "dur": 1},
+        ]})
+
+
+def test_parse_chrome_trace_rejects_non_trace():
+    with pytest.raises(ValueError):
+        parse_chrome_trace(json.dumps({"foo": 1}))
+
+
+def test_trace_event_end_property():
+    event = TraceEvent(name="x", component="c", phase="X", start=5, duration=7)
+    assert event.end == 12
