@@ -1,6 +1,7 @@
 # Convenience targets for the STONNE reproduction.
 
-.PHONY: install test bench report examples validate trace-smoke all clean
+.PHONY: install test bench report examples validate trace-smoke \
+	differential bench-parallel all clean
 
 install:
 	pip install -e .
@@ -10,6 +11,14 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# serial vs parallel vs cached execution must be byte-identical
+differential:
+	pytest tests/differential/ --jobs 4 -q
+
+# three-way full-model sweep; writes BENCH_parallel.json at the repo root
+bench-parallel:
+	PYTHONPATH=src python benchmarks/bench_parallel.py --jobs 4
 
 report:
 	python -m repro.experiments.report evaluation_report.md

@@ -1,0 +1,163 @@
+"""Wall-clock benchmark of parallel + cached whole-model simulation.
+
+Sweeps every Table I model across timing-heavy dense hardware points
+three ways:
+
+1. **serial** — the classic layer-by-layer :func:`simulate` path;
+2. **parallel cold** — :class:`~repro.parallel.ParallelModelRunner` with
+   4 workers and an empty on-disk :class:`~repro.parallel.SimCache`
+   (repeated shapes within the sweep are deduplicated and memoized);
+3. **parallel warm** — the same sweep again against the now-populated
+   disk cache, so only the functional pass and cache lookups remain.
+
+Total cycles must be byte-identical across all three paths — the
+benchmark asserts it — and the headline number is the warm-over-serial
+speedup, recorded in ``BENCH_parallel.json`` at the repo root.
+
+Standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--jobs N] [--out PATH]
+"""
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import maeri_like, tpu_like
+from repro.engine.accelerator import Accelerator
+from repro.frontend.models import build_model, model_input
+from repro.frontend.simulated import detach_context, simulate, simulate_parallel
+from repro.parallel import SimCache
+
+MODELS = (
+    "mobilenets", "squeezenet", "alexnet", "resnet50", "vgg16",
+    "ssd-mobilenets", "bert",
+)
+
+DEFAULT_JOBS = 4
+
+
+def hardware_points():
+    """Dense (cacheable) configurations, biased toward timing-heavy ones."""
+    return (
+        ("tpu16", tpu_like(num_pes=16)),
+        ("tpu256", tpu_like(num_pes=256)),
+        ("maeri64", maeri_like(num_ms=64, bandwidth=32)),
+        ("maeri256", maeri_like(num_ms=256, bandwidth=128)),
+    )
+
+
+def _model_run(name):
+    model = build_model(name, seed=0)
+    x = model_input(name, batch=1, seed=1)
+    return model, x
+
+
+def _serial_sweep(points):
+    cycles = {}
+    start = time.perf_counter()
+    for model_name in MODELS:
+        model, x = _model_run(model_name)
+        for hw_name, config in points:
+            acc = Accelerator(config)
+            simulate(model, acc)
+            model(x)
+            detach_context(model)
+            cycles[(model_name, hw_name)] = acc.report.total_cycles
+    return time.perf_counter() - start, cycles
+
+
+def _parallel_sweep(points, jobs, cache_dir):
+    cycles = {}
+    stats = {"simulated": 0, "cache_hits": 0, "deduplicated": 0, "fallbacks": 0}
+    cache = SimCache(cache_dir)
+    start = time.perf_counter()
+    for model_name in MODELS:
+        model, x = _model_run(model_name)
+        for hw_name, config in points:
+            acc = Accelerator(config)
+            result = simulate_parallel(model, acc, x, jobs=jobs, cache=cache)
+            cycles[(model_name, hw_name)] = acc.report.total_cycles
+            stats["simulated"] += result.simulated
+            stats["cache_hits"] += result.cache_hits
+            stats["deduplicated"] += result.deduplicated
+            stats["fallbacks"] += result.fallbacks
+    return time.perf_counter() - start, cycles, stats
+
+
+def run_benchmark(jobs=DEFAULT_JOBS, out_path=None, cache_dir=None):
+    """Run the three-way sweep; returns (and optionally writes) the record."""
+    points = hardware_points()
+    owned_tmp = None
+    if cache_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="stonne-simcache-")
+        cache_dir = owned_tmp.name
+    try:
+        serial_s, serial_cycles = _serial_sweep(points)
+        cold_s, cold_cycles, cold_stats = _parallel_sweep(
+            points, jobs, cache_dir
+        )
+        warm_s, warm_cycles, warm_stats = _parallel_sweep(
+            points, jobs, cache_dir
+        )
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+
+    identical = serial_cycles == cold_cycles == warm_cycles
+    record = {
+        "benchmark": "parallel+cached whole-model simulation",
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "models": list(MODELS),
+        "hardware": [name for name, _ in points],
+        "runs": len(MODELS) * len(points),
+        "serial_s": round(serial_s, 4),
+        "parallel_cold_s": round(cold_s, 4),
+        "parallel_warm_s": round(warm_s, 4),
+        "speedup_cold": round(serial_s / cold_s, 3),
+        "speedup_warm": round(serial_s / warm_s, 3),
+        "cold_stats": cold_stats,
+        "warm_stats": warm_stats,
+        "cycles_identical": identical,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(
+            json.dumps(record, indent=2) + "\n", encoding="utf-8"
+        )
+    return record
+
+
+def test_parallel_benchmark_speedup(jobs, tmp_path):
+    """Cycles identical across paths; the warm cache beats serial >= 2x."""
+    record = run_benchmark(
+        jobs=jobs or DEFAULT_JOBS, cache_dir=str(tmp_path / "simcache")
+    )
+    print(json.dumps(record, indent=2))
+    assert record["cycles_identical"]
+    assert record["cold_stats"]["fallbacks"] == 0
+    assert record["warm_stats"]["cache_hits"] > 0
+    assert record["speedup_warm"] >= 2.0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_parallel.json"),
+        help="where to write the benchmark record",
+    )
+    args = parser.parse_args(argv)
+    record = run_benchmark(jobs=args.jobs, out_path=args.out)
+    print(json.dumps(record, indent=2))
+    print(f"\nwritten to {args.out}")
+    return 0 if record["cycles_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

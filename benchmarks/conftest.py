@@ -9,6 +9,29 @@ microsecond-stable timing of the simulator itself.
 
 import pytest
 
+try:  # pytest-benchmark is optional: fall back to a bare timer fixture
+    import pytest_benchmark  # noqa: F401
+
+    _HAVE_BENCHMARK_PLUGIN = True
+except ImportError:  # pragma: no cover - depends on the environment
+    _HAVE_BENCHMARK_PLUGIN = False
+
+
+if not _HAVE_BENCHMARK_PLUGIN:
+
+    class _FallbackBenchmark:
+        """Runs the function once, without the plugin's statistics."""
+
+        def pedantic(self, func, args=(), kwargs=None, **_ignored):
+            return func(*args, **(kwargs or {}))
+
+        def __call__(self, func, *args, **kwargs):
+            return func(*args, **kwargs)
+
+    @pytest.fixture
+    def benchmark():
+        return _FallbackBenchmark()
+
 
 @pytest.fixture
 def run_once(benchmark):

@@ -1,0 +1,26 @@
+"""Repo-level pytest options shared by ``tests/`` and ``benchmarks/``.
+
+Lives at the rootdir so the ``--jobs`` option is defined exactly once no
+matter which suite (or combination of suites) a run collects.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the parallel-simulation suites "
+             "(0 = one per CPU, 1 = serial)",
+    )
+
+
+@pytest.fixture
+def jobs(request):
+    """The requested worker count; ``None`` means one per CPU."""
+    value = request.config.getoption("--jobs")
+    if value < 0:
+        raise pytest.UsageError("--jobs must be >= 0")
+    return value or None

@@ -58,6 +58,7 @@ class StonneInstance:
         self.accelerator = Accelerator(config, observability=observability)
         self._operation: Optional[_PendingOperation] = None
         self._data: Dict[str, np.ndarray] = {}
+        self._data_configured = False
 
     # ---- Configure* ------------------------------------------------------
     def configure_conv(
@@ -109,11 +110,17 @@ class StonneInstance:
             self._data["weights"] = np.asarray(weights)
         if inputs is not None:
             self._data["inputs"] = np.asarray(inputs)
+        self._data_configured = True
 
     # ---- RunOperation ---------------------------------------------------
     def run_operation(self) -> np.ndarray:
         if self._operation is None:
             raise ApiError("RunOperation before any Configure* instruction")
+        if not self._data_configured:
+            raise ApiError(
+                "RunOperation before ConfigureData: bind the operand "
+                "tensors with ConfigureData first"
+            )
         op = self._operation
         inputs = self._data.get("inputs")
         weights = self._data.get("weights")
@@ -148,6 +155,47 @@ class StonneInstance:
             raise ApiError(f"unknown operation kind {op.kind!r}")
         self._operation = None
         self._data = {}
+        self._data_configured = False
+        return result
+
+    # ---- whole-model execution ------------------------------------------
+    def run_model(
+        self,
+        model,
+        inputs: np.ndarray,
+        jobs: int = 1,
+        cache=None,
+        round_builder=None,
+        tiles=None,
+    ):
+        """Simulate every offloaded layer of ``model`` on this instance.
+
+        With ``jobs > 1`` the layers are timed across a process pool, and
+        an optional :class:`~repro.parallel.SimCache` reuses previously
+        simulated (layer, tile, hardware) results; either way the merged
+        report is byte-identical to driving the layers one by one. Layer
+        reports accumulate into :attr:`report` exactly as per-operation
+        instructions do. Returns a
+        :class:`~repro.parallel.runner.ModelRunResult`.
+        """
+        from repro.parallel import ParallelModelRunner
+
+        runner = ParallelModelRunner(
+            self.accelerator.config,
+            jobs=jobs,
+            cache=cache,
+            observability=self.accelerator.obs,
+            round_builder=round_builder,
+            tiles=tiles,
+        )
+        result = runner.run_model(
+            model, inputs, base_cycle=self.report.total_cycles
+        )
+        for layer in result.report.layers:
+            self.report.append(layer)
+        for key, value in result.report.metadata.items():
+            if key.startswith("parallel_"):
+                self.report.metadata[key] = value
         return result
 
     @property

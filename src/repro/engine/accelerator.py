@@ -38,7 +38,91 @@ from repro.tensors.im2col import col2im_output, im2col
 from repro.tensors.sparse import BitmapMatrix, CsrMatrix
 
 # re-exported for convenience
-__all__ = ["Accelerator", "LayerReport"]
+__all__ = [
+    "Accelerator",
+    "LayerReport",
+    "conv_layer_spec",
+    "conv_functional",
+    "gemm_functional",
+    "maxpool_functional",
+]
+
+
+# ----------------------------------------------------------------------
+# functional execution helpers
+#
+# The value-producing half of every operation lives in module-level
+# functions so the parallel runner's recording pass (repro.parallel)
+# computes bit-identical outputs through the *same* code the serial
+# Accelerator uses — the invariant the differential test suite pins.
+# ----------------------------------------------------------------------
+def conv_layer_spec(
+    weights: np.ndarray,
+    activations: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+    name: str = "conv",
+) -> ConvLayerSpec:
+    """Validate conv operands and derive the layer descriptor."""
+    if weights.ndim != 4 or activations.ndim != 4:
+        raise ConfigurationError("conv expects 4-D weights and activations")
+    k_total, c_g, r, s = weights.shape
+    n, c_total, x, y = activations.shape
+    if c_total != c_g * groups or k_total % groups:
+        raise ConfigurationError(
+            f"group mismatch: weights {weights.shape}, activations "
+            f"{activations.shape}, groups {groups}"
+        )
+    return ConvLayerSpec(
+        r=r, s=s, c=c_g, k=k_total // groups, g=groups, n=n,
+        x=x + 2 * padding, y=y + 2 * padding, stride=stride, name=name,
+    )
+
+
+def conv_functional(
+    weights: np.ndarray,
+    activations: np.ndarray,
+    stride: int,
+    padding: int,
+    groups: int,
+    layer: ConvLayerSpec,
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Real-valued convolution via im2col; returns (output, group_cols)."""
+    n = activations.shape[0]
+    k = layer.k
+    output = np.zeros(
+        (n, k * groups, layer.x_out, layer.y_out), dtype=np.float32
+    )
+    group_cols: List[np.ndarray] = []
+    c_g = layer.c
+    for g in range(groups):
+        act_g = activations[:, g * c_g : (g + 1) * c_g]
+        cols = im2col(act_g, layer.r, layer.s, stride, padding)
+        group_cols.append(cols)
+        w2d = weights[g * k : (g + 1) * k].reshape(k, -1)
+        out_g = w2d @ cols
+        output[:, g * k : (g + 1) * k] = col2im_output(
+            out_g, n, layer.x_out, layer.y_out
+        )
+    return output, group_cols
+
+
+def gemm_functional(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Real-valued dense matrix multiplication."""
+    return (a @ b).astype(np.float32)
+
+
+def maxpool_functional(
+    activations: np.ndarray, pool: int, stride: int
+) -> Tuple[np.ndarray, int]:
+    """Real-valued max pooling; returns (output, window comparisons)."""
+    n, c, x, y = activations.shape
+    xo = (x - pool) // stride + 1
+    yo = (y - pool) // stride + 1
+    cols = im2col(activations.reshape(n * c, 1, x, y), pool, pool, stride, 0)
+    output = cols.max(axis=0).reshape(n * c, xo, yo).reshape(n, c, xo, yo)
+    return output, int(cols.size)
 
 
 class Accelerator:
@@ -123,6 +207,11 @@ class Accelerator:
 
     def _start_layer(self, name: str, kind: str) -> None:
         """Open the layer's observability window on the cycle timeline."""
+        # Per-layer results must not depend on execution order: the DRAM
+        # row buffer is the only cross-layer state, so every layer starts
+        # cold. This is what lets repro.parallel simulate layers out of
+        # order (or replay them from cache) byte-identically.
+        self.dram.new_layer()
         self.obs.start_layer(self.report.total_cycles)
         tracer = self.obs.tracer
         if tracer.enabled:
@@ -193,24 +282,15 @@ class Accelerator:
         """
         weights = np.asarray(weights, dtype=np.float32)
         activations = np.asarray(activations, dtype=np.float32)
-        if weights.ndim != 4 or activations.ndim != 4:
-            raise ConfigurationError("conv expects 4-D weights and activations")
-        k_total, c_g, r, s = weights.shape
-        n, c_total, x, y = activations.shape
-        if c_total != c_g * groups or k_total % groups:
-            raise ConfigurationError(
-                f"group mismatch: weights {weights.shape}, activations "
-                f"{activations.shape}, groups {groups}"
-            )
-        layer = ConvLayerSpec(
-            r=r, s=s, c=c_g, k=k_total // groups, g=groups, n=n,
-            x=x + 2 * padding, y=y + 2 * padding, stride=stride, name=name,
+        layer = conv_layer_spec(
+            weights, activations, stride=stride, padding=padding,
+            groups=groups, name=name,
         )
         self._start_layer(name, "conv")
 
         # ---- functional execution (real values) ----
         with self.obs.profiler.phase("functional"):
-            output, group_cols = self._conv_functional(
+            output, group_cols = conv_functional(
                 weights, activations, stride, padding, groups, layer
             )
 
@@ -260,18 +340,23 @@ class Accelerator:
 
         before = self._snapshot()
         if self.systolic is not None:
-            output, result = self.systolic.run_gemm(a, b)
+            # like the conv path: the returned output is always the
+            # functional product, the engine contributes the timing —
+            # keeps layer outputs identical across engines and paths
+            with self.obs.profiler.phase("functional"):
+                output = gemm_functional(a, b)
+            _, result = self.systolic.run_gemm(a, b)
             cycles, macs = result.cycles, result.macs
             utilization = result.multiplier_utilization
         elif self.sparse_controller is not None:
             with self.obs.profiler.phase("functional"):
-                output = (a @ b).astype(np.float32)
+                output = gemm_functional(a, b)
             result = self.sparse_controller.run_spmm(a, gemm.n)
             cycles, macs = result.cycles, result.effective_macs
             utilization = result.multiplier_utilization
         else:
             with self.obs.profiler.phase("functional"):
-                output = (a @ b).astype(np.float32)
+                output = gemm_functional(a, b)
             with self.obs.profiler.phase("map"):
                 chosen = self.mapper.tile_for_gemm(gemm, tile)
             result = self.dense_controller.run_gemm(gemm, chosen)
@@ -313,7 +398,7 @@ class Accelerator:
             )
         self._start_layer(name, "spmm")
         with self.obs.profiler.phase("functional"):
-            output = (dense_a.astype(np.float32) @ b).astype(np.float32)
+            output = gemm_functional(dense_a.astype(np.float32), b)
 
         before = self._snapshot()
         result = self.sparse_controller.run_spmm(
@@ -346,18 +431,11 @@ class Accelerator:
         """
         stride = stride or pool
         activations = np.asarray(activations, dtype=np.float32)
-        n, c, x, y = activations.shape
-        xo = (x - pool) // stride + 1
-        yo = (y - pool) // stride + 1
         self._start_layer(name, "maxpool")
         with self.obs.profiler.phase("functional"):
-            cols = im2col(
-                activations.reshape(n * c, 1, x, y), pool, pool, stride, 0
-            )
-            output = cols.max(axis=0).reshape(n * c, xo, yo).reshape(n, c, xo, yo)
+            output, comparisons = maxpool_functional(activations, pool, stride)
 
         before = self._snapshot()
-        comparisons = cols.size
         cycles = 4 + int(np.ceil(comparisons / self.config.num_ms))
         self.gb.record_reads(comparisons)
         self.gb.record_writes(output.size)
@@ -368,33 +446,6 @@ class Accelerator:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-    def _conv_functional(
-        self,
-        weights: np.ndarray,
-        activations: np.ndarray,
-        stride: int,
-        padding: int,
-        groups: int,
-        layer: ConvLayerSpec,
-    ) -> Tuple[np.ndarray, List[np.ndarray]]:
-        n = activations.shape[0]
-        k = layer.k
-        output = np.zeros(
-            (n, k * groups, layer.x_out, layer.y_out), dtype=np.float32
-        )
-        group_cols: List[np.ndarray] = []
-        c_g = layer.c
-        for g in range(groups):
-            act_g = activations[:, g * c_g : (g + 1) * c_g]
-            cols = im2col(act_g, layer.r, layer.s, stride, padding)
-            group_cols.append(cols)
-            w2d = weights[g * k : (g + 1) * k].reshape(k, -1)
-            out_g = w2d @ cols
-            output[:, g * k : (g + 1) * k] = col2im_output(
-                out_g, n, layer.x_out, layer.y_out
-            )
-        return output, group_cols
-
     def _sparse_conv_timing(
         self, weights, group_cols, layer: ConvLayerSpec, round_builder=None
     ):

@@ -52,6 +52,46 @@ class LayerReport:
             clock_ghz=config.clock_ghz,
         )
 
+    def to_payload(self) -> Dict:
+        """Plain-data form for worker transport and the simulation cache.
+
+        Unlike :meth:`as_dict` (the human-facing report row), the payload
+        round-trips exactly through :meth:`from_payload`: counters keep
+        full precision and no derived quantities are added.
+        """
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "cycles": int(self.cycles),
+            "macs": int(self.macs),
+            "outputs": int(self.outputs),
+            "multiplier_utilization": float(self.multiplier_utilization),
+            "counters": self.counters.as_dict(),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict, name: Optional[str] = None) -> "LayerReport":
+        """Rebuild a report from :meth:`to_payload` data.
+
+        ``name`` overrides the stored layer name — a cached result keyed
+        by (layer shape, tile, hardware) is shared between identically
+        shaped layers with different names.
+        """
+        counters = CounterSet()
+        for key, value in payload["counters"].items():
+            counters.add(key, int(value))
+        return cls(
+            name=name if name is not None else payload["name"],
+            kind=payload["kind"],
+            cycles=int(payload["cycles"]),
+            macs=int(payload["macs"]),
+            outputs=int(payload["outputs"]),
+            multiplier_utilization=float(payload["multiplier_utilization"]),
+            counters=counters,
+            extra=dict(payload.get("extra", {})),
+        )
+
     def as_dict(self, config: Optional[HardwareConfig] = None) -> Dict:
         record: Dict = {
             "name": self.name,

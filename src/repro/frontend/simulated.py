@@ -126,6 +126,44 @@ def simulate(
     return context
 
 
+def simulate_parallel(
+    model: Module,
+    accelerator: Accelerator,
+    x: np.ndarray,
+    jobs: int = 1,
+    cache=None,
+    round_builder=None,
+    tiles=None,
+):
+    """Run ``model(x)`` with layers timed across a process pool.
+
+    The merged per-layer reports land in ``accelerator.report`` exactly as
+    a serial :func:`simulate` run would leave them (byte-identical cycles,
+    counters and outputs — pinned by the differential suite). ``cache``
+    optionally reuses results from a :class:`~repro.parallel.SimCache`.
+    Returns the :class:`~repro.parallel.runner.ModelRunResult`.
+    """
+    from repro.parallel import ParallelModelRunner
+
+    runner = ParallelModelRunner(
+        accelerator.config,
+        jobs=jobs,
+        cache=cache,
+        observability=accelerator.obs,
+        round_builder=round_builder,
+        tiles=tiles,
+    )
+    result = runner.run_model(
+        model, x, base_cycle=accelerator.report.total_cycles
+    )
+    for layer in result.report.layers:
+        accelerator.report.append(layer)
+    for key, value in result.report.metadata.items():
+        if key.startswith("parallel_"):
+            accelerator.report.metadata[key] = value
+    return result
+
+
 class SimulatedConv2d(Conv2d):
     """A convolution constructed directly in simulated mode (Fig. 2d)."""
 

@@ -52,6 +52,16 @@ class Dram(ClockedComponent):
             self.counters.add("dram_row_misses", 1)
             self._last_row = row
 
+    def new_layer(self) -> None:
+        """Forget the open row at a layer boundary.
+
+        Each layer starts with a cold row buffer so its hit/miss counters
+        (and everything else in its report) are independent of which
+        layer — if any — ran before it. The parallel runner and the
+        simulation-result cache rely on this order-independence.
+        """
+        self._last_row = -1
+
     def access_latency(self, address: int) -> int:
         """Latency of a demand access given row-buffer state."""
         row = address // self.config.row_buffer_bytes

@@ -90,6 +90,40 @@ class MetricsRecorder:
         self._last_values = values
         return new
 
+    def ingest(
+        self,
+        samples: List[MetricsSample],
+        cycle_offset: int = 0,
+        value_offsets: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """Append samples recorded by another recorder (a worker process).
+
+        Worker samples carry layer-local cycles and per-layer cumulative
+        counter values; ``cycle_offset`` rebases them onto the parent's
+        absolute timeline and ``value_offsets`` adds the counters
+        accumulated by every earlier layer, so the merged series reads
+        like one continuous run. Samples must arrive in timeline order.
+        """
+        offsets = dict(value_offsets or {})
+        for sample in samples:
+            cycle = sample.cycle + int(cycle_offset)
+            if cycle < self._last_cycle:
+                raise ValueError(
+                    f"ingested cycle went backwards ({cycle} < {self._last_cycle})"
+                )
+            keys = set(offsets) | set(sample.values)
+            values = {
+                key: offsets.get(key, 0.0) + float(sample.values.get(key, 0.0))
+                for key in sorted(keys)
+            }
+            rebased = MetricsSample(cycle=cycle, values=values)
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(rebased)
+            self.total_emitted += 1
+            self._last_cycle = cycle
+            self._last_values = dict(values)
+
     # ---- access -------------------------------------------------------
     @property
     def samples(self) -> List[MetricsSample]:

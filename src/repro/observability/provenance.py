@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import functools
 import hashlib
 import json
 import platform
@@ -40,8 +41,13 @@ def config_digest_source(config: HardwareConfig) -> str:
     return json.dumps(_jsonable(config), sort_keys=True)
 
 
+@functools.lru_cache(maxsize=256)
 def config_hash(config: HardwareConfig) -> str:
-    """Short stable digest identifying a hardware configuration."""
+    """Short stable digest identifying a hardware configuration.
+
+    Memoized: configs are frozen (hashable, compared by value) and the
+    simulation cache digests one per layer lookup.
+    """
     return hashlib.sha256(
         config_digest_source(config).encode("utf-8")
     ).hexdigest()[:16]

@@ -87,6 +87,9 @@ class NullTracer:
                 values: Mapping[str, float]) -> None:
         pass
 
+    def extend(self, events, offset: int = 0) -> None:
+        pass
+
 
 #: process-wide singleton — the default tracer of every component
 NULL_TRACER = NullTracer()
@@ -156,6 +159,32 @@ class Tracer(NullTracer):
             name=name, component=component, phase=PHASE_COUNTER,
             start=int(cycle), args={k: float(v) for k, v in values.items()},
         ))
+
+    def extend(self, events, offset: int = 0) -> None:
+        """Merge foreign events, shifted by ``offset`` cycles.
+
+        A worker process traces each layer on its own accelerator, whose
+        clock starts at zero; the parent rebases those events onto the
+        model timeline by passing the layer's absolute start cycle. Events
+        may be :class:`TraceEvent` records or their ``dataclasses.asdict``
+        dictionaries (the wire form workers return).
+        """
+        for event in events:
+            if isinstance(event, Mapping):
+                event = TraceEvent(
+                    name=str(event["name"]),
+                    component=str(event["component"]),
+                    phase=str(event["phase"]),
+                    start=int(event["start"]),
+                    duration=int(event.get("duration", 0)),
+                    depth=int(event.get("depth", 0)),
+                    args=dict(event.get("args", {})),
+                )
+            self._events.append(TraceEvent(
+                name=event.name, component=event.component, phase=event.phase,
+                start=event.start + int(offset), duration=event.duration,
+                depth=event.depth, args=dict(event.args),
+            ))
 
     def clear(self) -> None:
         self._events = []

@@ -1,0 +1,193 @@
+"""The simulation-result cache.
+
+Dense-path timing is *value-independent*: the cycles, activity counters
+and utilization of a conv/GEMM/maxpool depend only on the layer geometry,
+the tile mapping and the hardware configuration — never on what numbers
+flow through the multipliers (pinned by the differential suite). So a
+(layer descriptor, tile, hardware config) triple fully determines the
+:class:`~repro.engine.stats.LayerReport`, and recomputing it for every
+identically shaped layer — or every re-run of an experiment sweep — is
+pure waste.
+
+:class:`SimCache` memoizes those reports under a canonical SHA-256 key.
+Data-dependent paths are **refused by construction**:
+
+- SpMM / any sparse-controller timing (round packing reads the non-zero
+  structure of the stationary operand);
+- SNAPEA early termination (cut-offs read the running partial sums).
+
+Entries persist to disk (optional) under
+``<dir>/v<schema>/<config-hash>/<key>.json``; both the schema version and
+the provenance config hash are part of the key *and* the path, so bumping
+either invalidates without any deletion logic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.config.hardware import HardwareConfig
+from repro.observability.provenance import config_hash
+from repro.parallel.workload import DATA_DEPENDENT_KINDS, LayerWorkload
+
+#: bump when the key layout or the stored payload schema changes — old
+#: on-disk entries become unreachable automatically
+CACHE_SCHEMA_VERSION = 1
+
+#: params that describe the *mapping*, per kind — anything else a
+#: workload carries (round_builder objects, flags) is not part of the key
+_KEY_PARAMS = {
+    "conv": ("stride", "padding", "groups", "tile"),
+    "gemm": ("tile",),
+    "maxpool": ("pool", "stride"),
+}
+
+
+def cacheable(workload: LayerWorkload, config: HardwareConfig) -> bool:
+    """Whether this (workload, hardware) pair has value-independent timing."""
+    if workload.data_dependent:
+        return False
+    if workload.kind in DATA_DEPENDENT_KINDS:
+        return False
+    if config.is_sparse:
+        # conv/GEMM on a sparse fabric is timed by the sparse controller
+        return False
+    return workload.kind in _KEY_PARAMS
+
+
+def _jsonable_param(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    raise TypeError(
+        f"cache key parameter of type {type(value).__name__} is not canonical"
+    )
+
+
+def canonical_key_source(
+    workload: LayerWorkload, config: HardwareConfig
+) -> str:
+    """The canonical JSON text a cache key digests.
+
+    Everything that can change the timing result is in here — and nothing
+    else: layer kind, operand shapes and dtypes, the mapping parameters
+    for the kind, the cache schema version and the hardware config hash.
+    Layer *names* and operand *values* are deliberately absent.
+    """
+    if not cacheable(workload, config):
+        raise ValueError(
+            f"workload {workload.name!r} ({workload.kind}) is data-dependent "
+            "and has no cache key"
+        )
+    operands = {}
+    for key in sorted(workload.operands):
+        array = np.asarray(workload.operands[key])
+        operands[key] = {"shape": list(array.shape), "dtype": str(array.dtype)}
+    record = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "config": config_hash(config),
+        "kind": workload.kind,
+        "operands": operands,
+        "params": {
+            name: _jsonable_param(workload.params.get(name))
+            for name in _KEY_PARAMS[workload.kind]
+        },
+    }
+    return json.dumps(record, sort_keys=True)
+
+
+def canonical_key(workload: LayerWorkload, config: HardwareConfig) -> str:
+    """SHA-256 digest of :func:`canonical_key_source`."""
+    return hashlib.sha256(
+        canonical_key_source(workload, config).encode("utf-8")
+    ).hexdigest()
+
+
+class SimCache:
+    """Memoizes per-layer simulation payloads, optionally on disk."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: Dict[str, Dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ---- keying -------------------------------------------------------
+    @staticmethod
+    def cacheable(workload: LayerWorkload, config: HardwareConfig) -> bool:
+        return cacheable(workload, config)
+
+    @staticmethod
+    def key(
+        workload: LayerWorkload, config: HardwareConfig
+    ) -> Optional[str]:
+        """The workload's cache key, or ``None`` when uncacheable."""
+        if not cacheable(workload, config):
+            return None
+        return canonical_key(workload, config)
+
+    # ---- storage ------------------------------------------------------
+    def _path(self, key: str, config: HardwareConfig) -> Path:
+        assert self.directory is not None
+        return (
+            self.directory / f"v{CACHE_SCHEMA_VERSION}"
+            / config_hash(config) / f"{key}.json"
+        )
+
+    def get(self, key: str, config: HardwareConfig) -> Optional[Dict]:
+        """Look up a payload; counts a hit or a miss."""
+        entry = self._memory.get(key)
+        if entry is None and self.directory is not None:
+            path = self._path(key, config)
+            try:
+                stored = json.loads(path.read_text(encoding="utf-8"))
+                if (
+                    stored.get("schema") == CACHE_SCHEMA_VERSION
+                    and stored.get("config_hash") == config_hash(config)
+                ):
+                    entry = stored["payload"]
+                    self._memory[key] = entry
+            except (OSError, ValueError, KeyError):
+                entry = None  # absent or corrupt: treat as a miss
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, payload: Dict, config: HardwareConfig) -> None:
+        self._memory[key] = payload
+        if self.directory is None:
+            return
+        path = self._path(key, config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "config_hash": config_hash(config),
+            "key": key,
+            "payload": payload,
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+        tmp.replace(path)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk entries survive)."""
+        self._memory.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._memory),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -1,0 +1,367 @@
+"""Parallel whole-model simulation.
+
+:class:`ParallelModelRunner` drives a model through three phases:
+
+1. **Record** — one serial functional pass through the framework
+   (:func:`~repro.parallel.workload.record_model`): real layer outputs,
+   plus one :class:`~repro.parallel.workload.LayerWorkload` per offloaded
+   operation.
+2. **Simulate** — each distinct workload is timed exactly once:
+   cache-hit results are reused, duplicate shapes are deduplicated, and
+   the remaining misses run on a ``concurrent.futures`` process pool
+   (``jobs`` workers, one fresh accelerator per layer). Any failure to
+   simulate a layer remotely falls back to in-process serial simulation
+   of that layer, so a broken pool degrades to the classic path instead
+   of failing the run.
+3. **Merge** — per-layer reports are assembled in framework execution
+   order into one :class:`~repro.engine.stats.SimulationReport` that is
+   byte-identical (cycles, counters, outputs) to a serial run; worker
+   trace events and metrics samples are rebased onto the model timeline
+   and merged into the parent observability context.
+
+Determinism: results are keyed by workload index, so the report never
+depends on worker scheduling.
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.config.hardware import HardwareConfig, load_config
+from repro.engine.accelerator import Accelerator
+from repro.engine.stats import LayerReport, SimulationReport
+from repro.errors import SimulationError
+from repro.observability import Observability
+from repro.observability.context import TRACE_COUNTER_SERIES
+from repro.observability.metrics import MetricsSample
+from repro.parallel.cache import SimCache
+from repro.parallel.workload import LayerWorkload, record_model
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _simulate_workload(
+    config: HardwareConfig,
+    workload: LayerWorkload,
+    trace: bool = False,
+    metrics_every: int = 0,
+) -> Dict:
+    """Time one workload on a fresh accelerator; plain-data result.
+
+    Runs in worker processes (everything crossing the boundary is
+    picklable) and in the parent for the serial path and fallbacks, so
+    every execution mode shares one code path.
+    """
+    obs = Observability.create(trace=trace, metrics_every=metrics_every)
+    acc = Accelerator(config, observability=obs)
+    params = workload.params
+    if workload.kind == "conv":
+        acc.run_conv(
+            workload.operands["weights"], workload.operands["inputs"],
+            stride=params["stride"], padding=params["padding"],
+            groups=params["groups"], tile=params["tile"],
+            name=workload.name, round_builder=params.get("round_builder"),
+        )
+    elif workload.kind == "gemm":
+        acc.run_gemm(
+            workload.operands["weights"], workload.operands["inputs"],
+            tile=params["tile"], name=workload.name,
+        )
+    elif workload.kind == "spmm":
+        acc.run_spmm(
+            workload.operands["weights"], workload.operands["inputs"],
+            round_builder=params.get("round_builder"), name=workload.name,
+            sparse_streaming=bool(params.get("sparse_streaming")),
+        )
+    elif workload.kind == "maxpool":
+        acc.run_maxpool(
+            workload.operands["inputs"], pool=params["pool"],
+            stride=params["stride"], name=workload.name,
+        )
+    else:
+        raise SimulationError(f"unknown workload kind {workload.kind!r}")
+    layer = acc.report.layers[0]
+    payload = layer.to_payload()
+    # the metrics series is timeline-dependent; the parent rebuilds it
+    # from the raw samples below, and the cache must never store it
+    payload["extra"].pop("metrics", None)
+    return {
+        "layer": payload,
+        "trace": [dataclasses.asdict(e) for e in obs.tracer.events],
+        "metrics_samples": [
+            {"cycle": s.cycle, "values": dict(s.values)}
+            for s in (obs.metrics.samples if obs.metrics is not None else [])
+        ],
+    }
+
+
+def _simulate_workload_in_worker(
+    config: HardwareConfig,
+    workload: LayerWorkload,
+    trace: bool,
+    metrics_every: int,
+) -> Dict:
+    """The function submitted to the pool (separate name so tests can
+    fault-inject the remote path without touching the serial fallback)."""
+    return _simulate_workload(config, workload, trace, metrics_every)
+
+
+# ----------------------------------------------------------------------
+# shared worker pools
+# ----------------------------------------------------------------------
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    """A process pool with ``jobs`` workers, shared across runners.
+
+    Pool startup dominates small runs, so pools are kept alive for the
+    process lifetime (shut down at interpreter exit)."""
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every shared worker pool (also runs atexit)."""
+    for pool in _POOLS.values():
+        pool.shutdown(wait=True, cancel_futures=True)
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+@dataclass
+class ModelRunResult:
+    """Output tensor + report + execution accounting of one model run."""
+
+    output: np.ndarray
+    report: SimulationReport
+    layers: int
+    simulated: int        # workloads actually timed (here or in workers)
+    cache_hits: int
+    deduplicated: int     # repeated shapes folded onto one simulation
+    fallbacks: int        # workloads that fell back to serial in-process
+
+
+class ParallelModelRunner:
+    """Simulates a model's offloaded layers across a process pool."""
+
+    def __init__(
+        self,
+        config: Union[HardwareConfig, str, Path],
+        jobs: Optional[int] = 1,
+        cache: Optional[SimCache] = None,
+        observability: Optional[Observability] = None,
+        round_builder=None,
+        tiles=None,
+        executor=None,
+    ) -> None:
+        if not isinstance(config, HardwareConfig):
+            config = load_config(config)
+        self.config = config
+        import os
+
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.cache = cache
+        self.obs = observability if observability is not None else Observability()
+        self.round_builder = round_builder
+        self.tiles = tiles
+        #: injection point for tests; ``None`` uses the shared pool
+        self._executor = executor
+
+    # ---- simulation of the distinct workloads -------------------------
+    def _worker_flags(self) -> Tuple[bool, int]:
+        trace = self.obs.tracer.enabled
+        every = self.obs.metrics.every if self.obs.metrics is not None else 0
+        return trace, every
+
+    def _simulate_misses(
+        self, misses: List[LayerWorkload]
+    ) -> Tuple[Dict[int, Dict], int]:
+        """Time the given workloads; returns index→bundle and the number
+        that fell back to serial execution."""
+        trace, every = self._worker_flags()
+        results: Dict[int, Dict] = {}
+        fallbacks = 0
+        if self.jobs == 1 or len(misses) <= 1:
+            for workload in misses:
+                results[workload.index] = _simulate_workload(
+                    self.config, workload, trace, every
+                )
+            return results, fallbacks
+
+        executor = self._executor
+        if executor is None:
+            executor = _get_pool(self.jobs)
+        futures: Dict[int, Optional[Future]] = {}
+        for workload in misses:
+            try:
+                futures[workload.index] = executor.submit(
+                    _simulate_workload_in_worker,
+                    self.config, workload, trace, every,
+                )
+            except Exception:
+                futures[workload.index] = None  # unpicklable / broken pool
+        for workload in misses:
+            future = futures[workload.index]
+            bundle: Optional[Dict] = None
+            if future is not None:
+                try:
+                    bundle = future.result()
+                except Exception:
+                    bundle = None
+            if bundle is None:
+                # per-layer isolation: whatever went wrong out-of-process
+                # (pool death, pickling, a worker bug), the layer still
+                # simulates — serially, in-process. A genuine simulation
+                # error reproduces here and propagates with its real type.
+                fallbacks += 1
+                bundle = _simulate_workload(self.config, workload, trace, every)
+            results[workload.index] = bundle
+        return results, fallbacks
+
+    # ---- the whole-model run ------------------------------------------
+    def run_model(self, model, x: np.ndarray, base_cycle: int = 0) -> ModelRunResult:
+        """Simulate ``model(x)``; returns output + merged report."""
+        profiler = self.obs.profiler
+        with profiler.phase("record"):
+            output, workloads = record_model(
+                model, x, self.config,
+                round_builder=self.round_builder, tiles=self.tiles,
+            )
+
+        with profiler.phase("simulate"):
+            keys: Dict[int, Optional[str]] = {
+                w.index: (
+                    self.cache.key(w, self.config)
+                    if self.cache is not None else None
+                )
+                for w in workloads
+            }
+            bundles: Dict[int, Dict] = {}
+            cache_hits = 0
+            for workload in workloads:
+                key = keys[workload.index]
+                if key is None:
+                    continue
+                payload = self.cache.get(key, self.config)
+                if payload is not None:
+                    bundles[workload.index] = {"layer": payload, "cached": True}
+                    cache_hits += 1
+
+            # fold repeated shapes onto one simulation each
+            first_for_key: Dict[str, int] = {}
+            shared_from: Dict[int, int] = {}
+            misses: List[LayerWorkload] = []
+            for workload in workloads:
+                if workload.index in bundles:
+                    continue
+                key = keys[workload.index]
+                if key is not None and key in first_for_key:
+                    shared_from[workload.index] = first_for_key[key]
+                    continue
+                if key is not None:
+                    first_for_key[key] = workload.index
+                misses.append(workload)
+
+            simulated, fallbacks = self._simulate_misses(misses)
+            bundles.update(simulated)
+            for index, source in shared_from.items():
+                bundles[index] = {
+                    "layer": simulated[source]["layer"], "cached": True,
+                }
+
+            if self.cache is not None:
+                for workload in misses:
+                    key = keys[workload.index]
+                    if key is not None:
+                        self.cache.put(
+                            key, simulated[workload.index]["layer"], self.config
+                        )
+
+        with profiler.phase("merge"):
+            report = self._merge(workloads, bundles, base_cycle)
+            report.metadata.update({
+                "parallel_jobs": self.jobs,
+                "parallel_layers": len(workloads),
+                "parallel_simulated": len(misses),
+                "parallel_cache_hits": cache_hits,
+                "parallel_deduplicated": len(shared_from),
+                "parallel_fallbacks": fallbacks,
+            })
+        return ModelRunResult(
+            output=output,
+            report=report,
+            layers=len(workloads),
+            simulated=len(misses),
+            cache_hits=cache_hits,
+            deduplicated=len(shared_from),
+            fallbacks=fallbacks,
+        )
+
+    def _merge(
+        self,
+        workloads: List[LayerWorkload],
+        bundles: Dict[int, Dict],
+        base_cycle: int,
+    ) -> SimulationReport:
+        """Assemble per-layer results, in order, onto one timeline."""
+        report = SimulationReport(self.config)
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
+        base = base_cycle
+        running_totals: Dict[str, float] = {}
+        for workload in workloads:
+            bundle = bundles[workload.index]
+            payload = dict(bundle["layer"])
+            payload["extra"] = dict(payload.get("extra", {}))
+            samples = [
+                MetricsSample(cycle=s["cycle"], values=s["values"])
+                for s in bundle.get("metrics_samples", [])
+            ]
+            if metrics is not None and samples:
+                metrics.ingest(
+                    samples, cycle_offset=base, value_offsets=running_totals
+                )
+                payload["extra"]["metrics"] = [
+                    {
+                        "cycle": s.cycle + base,
+                        **{k: running_totals.get(k, 0.0) + s.values[k]
+                           for k in TRACE_COUNTER_SERIES if k in s.values},
+                    }
+                    for s in samples
+                ]
+            layer = LayerReport.from_payload(payload, name=workload.name)
+            if tracer.enabled:
+                events = bundle.get("trace")
+                if events:
+                    tracer.extend(events, offset=base)
+                else:
+                    # cached / deduplicated layers were not re-simulated;
+                    # they still get their window on the timeline
+                    tracer.span(
+                        f"layer:{workload.name}", "accelerator",
+                        base, base + layer.cycles,
+                        kind=layer.kind, cycles=layer.cycles,
+                        cached=bool(bundle.get("cached")),
+                    )
+            for name, value in layer.counters.as_dict().items():
+                running_totals[name] = running_totals.get(name, 0.0) + value
+            base += layer.cycles
+            report.append(layer)
+        return report

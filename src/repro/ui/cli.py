@@ -190,14 +190,35 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
 
 def _cmd_model(args: argparse.Namespace) -> int:
     from repro.frontend.models import build_model, model_input
-    from repro.frontend.simulated import detach_context, simulate
+    from repro.frontend.simulated import (
+        detach_context,
+        simulate,
+        simulate_parallel,
+    )
 
+    if args.jobs < 0:
+        raise StonneError("--jobs must be >= 0 (0 = one per CPU)")
     model = build_model(args.name, seed=args.seed, prune=not args.dense)
     x = model_input(args.name, batch=args.batch, seed=args.seed + 1)
     acc = Accelerator(_build_config(args), observability=_make_observability(args))
-    simulate(model, acc)
-    model(x)
-    detach_context(model)
+    if args.jobs != 1 or args.cache:
+        from repro.parallel import SimCache
+
+        cache = SimCache(args.cache) if args.cache else None
+        result = simulate_parallel(
+            model, acc, x, jobs=args.jobs or None, cache=cache
+        )
+        print(
+            f"parallel run: {result.layers} layers, "
+            f"{result.simulated} simulated, {result.cache_hits} cache hits, "
+            f"{result.deduplicated} deduplicated, "
+            f"{result.fallbacks} fallbacks",
+            file=sys.stderr,
+        )
+    else:
+        simulate(model, acc)
+        model(x)
+        detach_context(model)
     _finish_observability(acc, args)
     _report(acc, args.json)
     return 0
@@ -289,6 +310,12 @@ def build_parser() -> argparse.ArgumentParser:
     ))
     model.add_argument("--batch", type=int, default=1)
     model.add_argument("--dense", action="store_true", help="skip weight pruning")
+    model.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="time layers across N worker processes "
+                            "(0 = one per CPU, 1 = classic serial run)")
+    model.add_argument("--cache", metavar="DIR",
+                       help="persist/reuse per-layer simulation results "
+                            "in DIR (dense layers only)")
     _add_hw_args(model)
     model.set_defaults(func=_cmd_model)
 

@@ -1,0 +1,150 @@
+"""Differential suite: serial vs parallel vs cached execution.
+
+Every execution mode of the simulator must produce *byte-identical*
+results — same model outputs, same per-layer cycles and activity
+counters, same layer names — because the parallel runner and the
+simulation cache are pure execution strategies, not approximations.
+This suite drives Fig. 5 golden workloads through all three paths and
+compares them field by field, cross-checking the serial path against
+``tests/regression/golden.json`` so a drift in *any* path is caught.
+
+Run with ``--jobs N`` (repo-root pytest option) to put N worker
+processes behind the parallel path; the CI parallel-safety job uses
+``--jobs 4``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine.accelerator import Accelerator
+from repro.experiments.fig5 import architecture_config
+from repro.frontend.models import build_model, model_input
+from repro.frontend.simulated import detach_context, simulate
+from repro.observability import Observability
+from repro.parallel import ParallelModelRunner, SimCache
+
+GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "regression" / "golden.json")
+    .read_text(encoding="utf-8")
+)
+
+#: fig5 golden workloads: grouped convs (mobilenets), conv+pool mixes
+#: (squeezenet), GEMM-heavy attention (bert), on all three Table IV archs
+CASES = [
+    (model, arch)
+    for model in ("squeezenet", "mobilenets", "bert")
+    for arch in ("tpu", "maeri", "sigma")
+]
+
+
+def _workload(model_name):
+    model = build_model(model_name, seed=0)
+    x = model_input(model_name, batch=1, seed=1)
+    return model, x
+
+
+def _serial_run(arch, model_name, observability=None):
+    model, x = _workload(model_name)
+    acc = Accelerator(architecture_config(arch), observability=observability)
+    simulate(model, acc)
+    output = model(x)
+    detach_context(model)
+    return output, acc.report
+
+
+def _parallel_run(arch, model_name, jobs, cache=None, observability=None):
+    model, x = _workload(model_name)
+    runner = ParallelModelRunner(
+        architecture_config(arch), jobs=jobs, cache=cache,
+        observability=observability,
+    )
+    return runner.run_model(model, x)
+
+
+def _layer_fingerprint(report):
+    """Every per-layer field the paper's output module reports."""
+    return [
+        {
+            "name": layer.name,
+            "kind": layer.kind,
+            "cycles": layer.cycles,
+            "macs": layer.macs,
+            "outputs": layer.outputs,
+            "utilization": layer.multiplier_utilization,
+            "counters": layer.counters.as_dict(),
+        }
+        for layer in report.layers
+    ]
+
+
+def _assert_identical(reference, candidate, ref_output, cand_output):
+    assert ref_output.tobytes() == cand_output.tobytes()
+    assert candidate.total_cycles == reference.total_cycles
+    assert _layer_fingerprint(candidate) == _layer_fingerprint(reference)
+
+
+@pytest.mark.parametrize("model_name,arch", CASES)
+def test_serial_parallel_cached_identical(model_name, arch, jobs, tmp_path):
+    ref_output, ref_report = _serial_run(arch, model_name)
+    assert ref_report.total_cycles == \
+        GOLDEN["fig5_cycles"][f"{model_name}/{arch}"]
+
+    cache = SimCache(tmp_path / "simcache")
+    cold = _parallel_run(arch, model_name, jobs, cache=cache)
+    assert cold.fallbacks == 0
+    _assert_identical(ref_report, cold.report, ref_output, cold.output)
+
+    warm = _parallel_run(arch, model_name, jobs, cache=SimCache(
+        tmp_path / "simcache"
+    ))
+    _assert_identical(ref_report, warm.report, ref_output, warm.output)
+
+    if arch == "sigma":
+        # data-dependent timing: the cache must refuse every layer
+        assert cold.cache_hits == warm.cache_hits == 0
+        assert not any((tmp_path / "simcache").rglob("*.json"))
+    else:
+        assert warm.cache_hits == warm.layers
+        assert warm.simulated == 0
+
+
+@pytest.mark.parametrize("arch", ["tpu", "sigma"])
+def test_observability_survives_workers(arch, jobs):
+    """Spans and metrics from workers merge onto the parent timeline."""
+    obs = Observability.create(trace=True, metrics_every=32)
+    result = _parallel_run(arch, "squeezenet", jobs, observability=obs)
+
+    spans = [e for e in obs.tracer.events if e.name.startswith("layer:")]
+    assert len(spans) == result.layers
+    # layer windows tile the model timeline in execution order
+    expected_start = 0
+    for span, layer in zip(spans, result.report.layers):
+        assert span.name == f"layer:{layer.name}"
+        assert span.start == expected_start
+        assert span.end == expected_start + layer.cycles
+        expected_start = span.end
+    assert expected_start == result.report.total_cycles
+
+    if obs.metrics is not None and len(obs.metrics):
+        cycles = [s.cycle for s in obs.metrics.samples]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] <= result.report.total_cycles
+
+    _, ref_report = _serial_run(arch, "squeezenet")
+    assert result.report.total_cycles == ref_report.total_cycles
+
+
+def test_cache_shared_across_models(jobs, tmp_path):
+    """One cache directory serves any mix of models on one config."""
+    cache = SimCache(tmp_path)
+    first = _parallel_run("maeri", "squeezenet", jobs, cache=cache)
+    again = _parallel_run("maeri", "squeezenet", jobs, cache=SimCache(tmp_path))
+    assert again.simulated == 0
+    assert again.report.total_cycles == first.report.total_cycles
+    # a different model only reuses entries for genuinely shared shapes
+    other = _parallel_run("maeri", "mobilenets", jobs, cache=SimCache(tmp_path))
+    _, ref = _serial_run("maeri", "mobilenets")
+    assert other.report.total_cycles == ref.total_cycles

@@ -1,0 +1,131 @@
+"""Property tests: SimCache key canonicalization and invalidation.
+
+The cache is only sound if its keys capture *exactly* the timing-relevant
+inputs: layer geometry, mapping parameters, hardware configuration and
+the payload schema version — and nothing else (names, operand values).
+These properties pin both directions, plus the no-stale-hits guarantee
+when the schema version or the hardware config hash moves.
+"""
+
+import json
+import string
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TileConfig, maeri_like, tpu_like
+from repro.parallel import (
+    CACHE_SCHEMA_VERSION,
+    LayerWorkload,
+    SimCache,
+    canonical_key,
+    canonical_key_source,
+)
+from repro.parallel import cache as cache_module
+
+dims = st.integers(1, 24)
+names = st.text(alphabet=string.ascii_lowercase + "-_", min_size=1,
+                max_size=12)
+seeds = st.integers(0, 2**31 - 1)
+tiles = st.one_of(
+    st.none(),
+    st.builds(TileConfig, t_k=st.integers(1, 4), t_n=st.integers(1, 4)),
+)
+maeri_sizes = st.sampled_from([16, 32, 64])
+configs = st.one_of(
+    st.builds(maeri_like, num_ms=maeri_sizes,
+              bandwidth=st.sampled_from([4, 8, 16])),
+    st.builds(tpu_like, num_pes=st.sampled_from([16, 64])),
+)
+
+
+def _gemm(m, k, n, name, seed, tile):
+    rng = np.random.default_rng(seed)
+    return LayerWorkload(
+        index=0, kind="gemm", name=name, params={"tile": tile},
+        operands={
+            "weights": rng.standard_normal((m, k)).astype(np.float32),
+            "inputs": rng.standard_normal((k, n)).astype(np.float32),
+        },
+    )
+
+
+@given(dims, dims, dims, names, names, seeds, seeds, tiles, configs)
+@settings(max_examples=60, deadline=None)
+def test_key_ignores_names_and_operand_values(
+    m, k, n, name_a, name_b, seed_a, seed_b, tile, config
+):
+    a = _gemm(m, k, n, name_a, seed_a, tile)
+    b = _gemm(m, k, n, name_b, seed_b, tile)
+    assert canonical_key(a, config) == canonical_key(b, config)
+
+
+@given(dims, dims, dims, names, seeds, tiles, configs)
+@settings(max_examples=60, deadline=None)
+def test_key_source_is_canonical_and_value_free(m, k, n, name, seed, tile,
+                                                config):
+    workload = _gemm(m, k, n, name, seed, tile)
+    source = canonical_key_source(workload, config)
+    record = json.loads(source)
+    # canonical: re-serializing reproduces the digested text exactly
+    assert json.dumps(record, sort_keys=True) == source
+    assert record["schema"] == CACHE_SCHEMA_VERSION
+    # value-free: only shapes/dtypes of the operands appear
+    assert set(record["operands"]) == {"weights", "inputs"}
+    for operand in record["operands"].values():
+        assert set(operand) == {"shape", "dtype"}
+    # name-free: the layer's name never reaches the key material
+    assert f'"{name}"' not in source
+    key = canonical_key(workload, config)
+    assert len(key) == 64 and set(key) <= set("0123456789abcdef")
+
+
+@given(st.tuples(dims, dims, dims), st.tuples(dims, dims, dims),
+       names, seeds, configs)
+@settings(max_examples=60, deadline=None)
+def test_distinct_shapes_get_distinct_keys(shape_a, shape_b, name, seed,
+                                           config):
+    a = _gemm(*shape_a, name, seed, None)
+    b = _gemm(*shape_b, name, seed, None)
+    if shape_a == shape_b:
+        assert canonical_key(a, config) == canonical_key(b, config)
+    else:
+        assert canonical_key(a, config) != canonical_key(b, config)
+
+
+@given(dims, dims, dims, names, seeds, maeri_sizes, maeri_sizes)
+@settings(max_examples=40, deadline=None)
+def test_config_change_never_reuses_entries(m, k, n, name, seed, ms_a, ms_b):
+    config_a = maeri_like(num_ms=ms_a, bandwidth=4)
+    config_b = maeri_like(num_ms=ms_b, bandwidth=4)
+    workload = _gemm(m, k, n, name, seed, None)
+    cache = SimCache()
+    key_a = SimCache.key(workload, config_a)
+    cache.put(key_a, {"cycles": 1}, config_a)
+    key_b = SimCache.key(workload, config_b)
+    if ms_a == ms_b:
+        assert key_b == key_a
+        assert cache.get(key_b, config_b) == {"cycles": 1}
+    else:
+        # the provenance config hash is in the key: a reconfigured
+        # machine can never alias onto the old machine's entries
+        assert key_b != key_a
+        assert cache.get(key_b, config_b) is None
+
+
+@given(dims, dims, dims, names, seeds, configs)
+@settings(max_examples=40, deadline=None)
+def test_schema_bump_never_hits_stale_entries(m, k, n, name, seed, config):
+    workload = _gemm(m, k, n, name, seed, None)
+    cache = SimCache()
+    old_key = SimCache.key(workload, config)
+    cache.put(old_key, {"cycles": 1}, config)
+    original = cache_module.CACHE_SCHEMA_VERSION
+    cache_module.CACHE_SCHEMA_VERSION = original + 1
+    try:
+        new_key = SimCache.key(workload, config)
+        assert new_key != old_key
+        assert cache.get(new_key, config) is None
+    finally:
+        cache_module.CACHE_SCHEMA_VERSION = original

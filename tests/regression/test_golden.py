@@ -12,6 +12,7 @@ regression suite provides.
 import json
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 GOLDEN = json.loads(
@@ -20,7 +21,9 @@ GOLDEN = json.loads(
 
 
 def test_golden_file_is_complete():
-    assert set(GOLDEN) == {"tablev", "fig5_cycles", "fig9_cycles"}
+    assert set(GOLDEN) == {
+        "tablev", "fig5_cycles", "fig9_cycles", "spmm", "snapea",
+    }
     assert len(GOLDEN["tablev"]) == 11
     assert len(GOLDEN["fig5_cycles"]) == 7 * 3
     assert len(GOLDEN["fig9_cycles"]) == 7 * 3
@@ -49,3 +52,59 @@ def test_fig9_cycles_pinned():
         f"{r['model']}/{r['policy']}": r["cycles"] for r in run_fig9()
     }
     assert measured == GOLDEN["fig9_cycles"]
+
+
+def test_spmm_cycles_pinned_and_uncacheable():
+    """Sparse timing is pinned — and refused by the simulation cache,
+    because round packing reads the stationary operand's non-zeros."""
+    from repro.analytical.sigma_model import uniform_sparse_matrix
+    from repro.config import sigma_like
+    from repro.engine.accelerator import Accelerator
+    from repro.parallel import LayerWorkload, SimCache, canonical_key_source
+
+    config = sigma_like(num_ms=256, bandwidth=128)
+    a = uniform_sparse_matrix(64, 64, 0.8, seed=0)
+    b = np.random.default_rng(1).standard_normal((64, 64)).astype(np.float32)
+    acc = Accelerator(config)
+    acc.run_spmm(a, b, name="golden-spmm")
+    assert acc.report.total_cycles == GOLDEN["spmm"]["cycles"]
+
+    workload = LayerWorkload(
+        index=0, kind="spmm", name="golden-spmm", params={},
+        operands={"weights": a, "inputs": b}, data_dependent=True,
+    )
+    assert SimCache.key(workload, config) is None
+    with pytest.raises(ValueError):
+        canonical_key_source(workload, config)
+
+
+def test_snapea_cycles_pinned_and_uncacheable():
+    """SNAPEA timing is pinned — and refused by the simulation cache,
+    because early termination reads the running partial sums."""
+    from repro.config import maeri_like
+    from repro.frontend.layers import Conv2d
+    from repro.opts.snapea import SnapeaContext
+    from repro.parallel import LayerWorkload, SimCache, canonical_key_source
+
+    conv = Conv2d(8, 16, 3, padding=1, name="golden-snapea",
+                  rng=np.random.default_rng(2))
+    x = np.random.default_rng(7).uniform(
+        0.0, 1.0, size=(1, 8, 10, 10)
+    ).astype(np.float32)
+    ctx = SnapeaContext(num_pes=64, bandwidth=64, early_termination=True)
+    ctx.conv(conv, x)
+    assert ctx.total_cycles == GOLDEN["snapea"]["cycles"]
+    layer = ctx.layers[0]
+    assert layer.outputs == GOLDEN["snapea"]["outputs"]
+    assert layer.terminated_outputs == GOLDEN["snapea"]["terminated_outputs"]
+
+    workload = LayerWorkload(
+        index=0, kind="snapea", name="golden-snapea",
+        params={"stride": 1, "padding": 1, "groups": 1},
+        operands={"weights": conv.weight.data, "inputs": x},
+        data_dependent=True,
+    )
+    # rejected on any fabric: the kind itself is data-dependent
+    assert SimCache.key(workload, maeri_like(num_ms=64, bandwidth=32)) is None
+    with pytest.raises(ValueError):
+        canonical_key_source(workload, maeri_like(num_ms=64, bandwidth=32))

@@ -93,6 +93,26 @@ def test_run_without_data_rejected(instance):
         RunOperation(instance)
 
 
+def test_run_before_configure_data_is_typed(instance):
+    """RunOperation before ConfigureData names the missing instruction."""
+    ConfigureDMM(instance)
+    with pytest.raises(ApiError, match="ConfigureData"):
+        RunOperation(instance)
+
+
+def test_data_binding_consumed_after_run(instance, rng):
+    """A run consumes the data binding: the next operation needs its own
+    ConfigureData even though the previous tensors were bound once."""
+    a = rng.standard_normal((4, 8)).astype(np.float32)
+    b = rng.standard_normal((8, 4)).astype(np.float32)
+    ConfigureDMM(instance)
+    ConfigureData(instance, weights=a, inputs=b)
+    RunOperation(instance)
+    ConfigureDMM(instance)
+    with pytest.raises(ApiError, match="ConfigureData"):
+        RunOperation(instance)
+
+
 def test_operation_consumed_after_run(instance, rng):
     a = rng.standard_normal((4, 8)).astype(np.float32)
     b = rng.standard_normal((8, 4)).astype(np.float32)
@@ -111,3 +131,23 @@ def test_report_accumulates_operations(instance, rng):
         ConfigureData(instance, weights=a, inputs=b)
         RunOperation(instance)
     assert len(instance.report.layers) == 2
+
+
+def test_run_model_accumulates_into_report(instance, rng):
+    from repro.frontend.layers import Conv2d, Flatten, Linear
+    from repro.frontend.module import Sequential
+
+    model = Sequential(
+        Conv2d(2, 4, 3, name="c", rng=rng),
+        Flatten(),
+        Linear(4 * 4 * 4, 3, name="fc", rng=rng),
+    )
+    x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+    result = instance.run_model(model, x, jobs=1)
+    assert result.layers == 2
+    assert len(instance.report.layers) == 2
+    assert instance.report.total_cycles == result.report.total_cycles
+    assert instance.report.metadata["parallel_layers"] == 2
+    # the instruction state machine is untouched by a model run
+    with pytest.raises(ApiError):
+        RunOperation(instance)

@@ -74,6 +74,40 @@ def test_model_subcommand(capsys):
     assert "total cycles" in capsys.readouterr().out
 
 
+def test_model_subcommand_jobs_and_cache(tmp_path, capsys):
+    args = [
+        "model", "squeezenet", "--arch", "maeri", "--num-ms", "64",
+        "--bw", "32", "--json", "--jobs", "2", "--cache", str(tmp_path),
+    ]
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    cold = json.loads(captured.out)
+    assert cold["metadata"]["parallel_jobs"] == 2
+    assert "cache hits" in captured.err
+    # the serial path pins the reference cycles
+    assert main([
+        "model", "squeezenet", "--arch", "maeri", "--num-ms", "64",
+        "--bw", "32", "--json",
+    ]) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert cold["total_cycles"] == serial["total_cycles"]
+    # warm: every layer served from the on-disk cache
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    warm = json.loads(captured.out)
+    assert warm["total_cycles"] == serial["total_cycles"]
+    assert warm["metadata"]["parallel_cache_hits"] == \
+        warm["metadata"]["parallel_layers"]
+
+
+def test_model_subcommand_rejects_negative_jobs(capsys):
+    assert main([
+        "model", "squeezenet", "--arch", "maeri", "--num-ms", "64",
+        "--bw", "32", "--jobs", "-2",
+    ]) == 1
+    assert "--jobs" in capsys.readouterr().err
+
+
 def test_parser_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["experiment", "fig42"])
