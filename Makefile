@@ -1,7 +1,7 @@
 # Convenience targets for the STONNE reproduction.
 
 .PHONY: install test bench report examples validate trace-smoke \
-	differential bench-parallel all clean
+	sentinel-smoke differential bench-parallel all clean
 
 install:
 	pip install -e .
@@ -26,15 +26,35 @@ report:
 validate:
 	stonne validate
 
-# run a tiny traced conv through the CLI and validate the Chrome trace
+# run a tiny traced conv through the CLI and validate both exports
 trace-smoke:
 	PYTHONPATH=src python -m repro.ui.cli conv -R 3 -S 3 -C 4 -K 4 \
 		-X 6 -Y 6 --arch maeri --num-ms 16 --bw 8 \
-		--trace /tmp/stonne-trace-smoke.json --metrics-every 16
+		--trace /tmp/stonne-trace-smoke.json --metrics-every 16 \
+		--metrics /tmp/stonne-metrics-smoke.json --metrics-format json \
+		--no-registry
 	PYTHONPATH=src python -m repro.observability.validate \
 		/tmp/stonne-trace-smoke.json \
 		--expect "layer:" --expect "DN:" --expect "MN:" --expect "RN:"
+	PYTHONPATH=src python -m repro.observability.validate \
+		/tmp/stonne-metrics-smoke.json \
+		--expect gb_reads --expect mn_multiplications
 	@echo "trace smoke OK"
+
+# register two Fig. 5 workloads and gate them against the committed baseline
+sentinel-smoke:
+	rm -rf /tmp/stonne-ci-runs
+	PYTHONPATH=src python -m repro.ui.cli model squeezenet --arch tpu \
+		--num-ms 256 --registry-dir /tmp/stonne-ci-runs > /dev/null
+	PYTHONPATH=src python -m repro.ui.cli model squeezenet --arch maeri \
+		--num-ms 256 --bw 128 --registry-dir /tmp/stonne-ci-runs > /dev/null
+	PYTHONPATH=src python -m repro.observability.insight \
+		--registry-dir /tmp/stonne-ci-runs \
+		check --baseline tests/regression/baseline_runs.json
+	PYTHONPATH=src python -m repro.observability.insight \
+		--registry-dir /tmp/stonne-ci-runs \
+		report latest -o /tmp/stonne-insight-report.html
+	@echo "sentinel smoke OK"
 
 examples:
 	@for script in examples/*.py; do \

@@ -143,6 +143,29 @@ def test_parallel_benchmark_speedup(jobs, tmp_path):
     assert record["speedup_warm"] >= 2.0
 
 
+def _register_bench(record):
+    """Append the bench record to the run registry; returns the run id.
+
+    Only the standalone entry point registers (the pytest path must not
+    touch any registry). The run id lands inside the JSON record so the
+    committed numbers stay traceable to their full registry entry.
+    """
+    from repro.observability.registry import RunRegistry, registry_enabled
+
+    if not registry_enabled(default=True):
+        return None
+    try:
+        with RunRegistry() as registry:
+            return registry.record_payload(
+                "bench:parallel", dict(record), source="bench",
+                wall_clock_s=record["serial_s"] + record["parallel_cold_s"]
+                + record["parallel_warm_s"],
+            )
+    except OSError as exc:
+        print(f"warning: bench run not registered: {exc}")
+        return None
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
@@ -153,7 +176,13 @@ def main(argv=None):
         help="where to write the benchmark record",
     )
     args = parser.parse_args(argv)
-    record = run_benchmark(jobs=args.jobs, out_path=args.out)
+    record = run_benchmark(jobs=args.jobs)
+    run_id = _register_bench(record)
+    if run_id is not None:
+        record["registry_run_id"] = run_id
+    Path(args.out).write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
     print(json.dumps(record, indent=2))
     print(f"\nwritten to {args.out}")
     return 0 if record["cycles_identical"] else 1

@@ -37,6 +37,7 @@ from repro.config.tile import TileConfig
 from repro.engine.accelerator import Accelerator
 from repro.errors import ApiError
 from repro.observability import Observability
+from repro.observability.registry import RunRegistry, registry_enabled
 
 
 @dataclass
@@ -52,10 +53,14 @@ class StonneInstance:
         self,
         config: Union[HardwareConfig, str, Path],
         observability: Optional[Observability] = None,
+        registry: Optional[Union[RunRegistry, str, Path]] = None,
     ) -> None:
         if not isinstance(config, HardwareConfig):
             config = load_config(config)
         self.accelerator = Accelerator(config, observability=observability)
+        if registry is not None and not isinstance(registry, RunRegistry):
+            registry = RunRegistry(registry)
+        self.registry = registry
         self._operation: Optional[_PendingOperation] = None
         self._data: Dict[str, np.ndarray] = {}
         self._data_configured = False
@@ -196,7 +201,49 @@ class StonneInstance:
         for key, value in result.report.metadata.items():
             if key.startswith("parallel_"):
                 self.report.metadata[key] = value
+        if self.registry is not None or registry_enabled(default=False):
+            self.register_run(
+                workload=f"model:{getattr(model, 'name', type(model).__name__)}",
+                cached=bool(result.report.metadata.get("parallel_all_cached")),
+            )
         return result
+
+    # ---- run registry ---------------------------------------------------
+    def register_run(
+        self,
+        workload: str,
+        registry: Optional[Union[RunRegistry, str, Path]] = None,
+        source: str = "api",
+        wall_clock_s: Optional[float] = None,
+        cached: bool = False,
+    ) -> str:
+        """Append the accumulated report to the run registry.
+
+        Uses ``registry`` if given, else the instance's registry, else
+        the default store (``~/.stonne_runs`` / ``$STONNE_RUNS_DIR``).
+        Purely an observer of the finished report — never affects the
+        simulation. Returns the new run id.
+        """
+        metrics = self.observability.metrics
+        owned = None
+        if registry is None:
+            registry = self.registry
+        if registry is None:
+            registry = owned = RunRegistry()
+        elif not isinstance(registry, RunRegistry):
+            registry = owned = RunRegistry(registry)
+        try:
+            return registry.record_report(
+                self.report,
+                workload=workload,
+                source=source,
+                wall_clock_s=wall_clock_s,
+                cached=cached,
+                metrics=metrics.summary() if metrics is not None else None,
+            )
+        finally:
+            if owned is not None:
+                owned.close()
 
     @property
     def report(self):

@@ -247,8 +247,11 @@ class SimulationReport:
         lines = ["# STONNE-repro activity counter file", f"# accelerator: {self.config.name}"]
         merged = self.merged_counters()
         for name in merged:
-            prefix, _, event = name.partition("_")
-            lines.append(f"{prefix}.{event} = {merged.get(name)}")
+            prefix, sep, event = name.partition("_")
+            # counters named without a component prefix (no underscore)
+            # are written bare so the file parses back to the same name
+            key = f"{prefix}.{event}" if sep else prefix
+            lines.append(f"{key} = {merged.get(name)}")
         text = "\n".join(lines) + "\n"
         if path is not None:
             Path(path).write_text(text, encoding="utf-8")
@@ -263,6 +266,7 @@ def parse_counter_file(text: str) -> CounterSet:
         if not line or line.startswith("#"):
             continue
         key, _, value = line.partition("=")
-        component, _, event = key.strip().partition(".")
-        counters.add(f"{component}_{event}", int(value.strip()))
+        component, sep, event = key.strip().partition(".")
+        name = f"{component}_{event}" if sep else component
+        counters.add(name, int(value.strip()))
     return counters

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 def geometric_mean(values: Iterable[float]) -> float:
@@ -38,6 +38,45 @@ def format_table(rows: Sequence[Dict], columns: Sequence[str] = ()) -> str:
         for row in cells
     ]
     return "\n".join([header, separator, *body])
+
+
+def record_experiment(
+    name: str,
+    rows: Sequence[Dict],
+    registry=None,
+    wall_clock_s: Optional[float] = None,
+    source: str = "experiment",
+) -> str:
+    """Register one experiment's result rows in the run registry.
+
+    Experiments produce row tables rather than a single report, so the
+    record carries the rows verbatim plus summed headline totals (when
+    the rows have ``cycles`` / ``energy_total_uj`` columns). Returns the
+    run id.
+    """
+    from repro.observability.registry import RunRegistry
+
+    rows = [dict(row) for row in rows]
+    total_cycles = sum(int(row.get("cycles", 0)) for row in rows)
+    total_energy = sum(float(row.get("energy_total_uj", 0.0)) for row in rows)
+    payload = {"rows": rows, "row_count": len(rows)}
+    owned = None
+    if registry is None:
+        registry = owned = RunRegistry()
+    elif not isinstance(registry, RunRegistry):
+        registry = owned = RunRegistry(registry)
+    try:
+        return registry.record_payload(
+            f"experiment:{name}",
+            payload,
+            source=source,
+            wall_clock_s=wall_clock_s,
+            total_cycles=total_cycles,
+            energy_total_uj=total_energy,
+        )
+    finally:
+        if owned is not None:
+            owned.close()
 
 
 def normalize(values: Sequence[float], reference: float) -> List[float]:

@@ -33,12 +33,19 @@ See ``docs/OBSERVABILITY.md`` for the full workflow.
 
 from repro.observability.context import DISABLED, TRACE_COUNTER_SERIES, Observability
 from repro.observability.metrics import (
+    HEADLINE_COUNTERS,
     MetricsRecorder,
     MetricsSample,
     utilization_series,
 )
 from repro.observability.profiler import NULL_PROFILER, NullProfiler, Profiler
 from repro.observability.provenance import config_hash, run_metadata
+from repro.observability.registry import (
+    RunRecord,
+    RunRegistry,
+    default_registry_dir,
+    registry_enabled,
+)
 from repro.observability.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -46,10 +53,11 @@ from repro.observability.tracer import (
     Tracer,
     parse_chrome_trace,
 )
-from repro.observability.validate import validate_chrome_trace
+from repro.observability.validate import validate_chrome_trace, validate_metrics_json
 
 __all__ = [
     "DISABLED",
+    "HEADLINE_COUNTERS",
     "MetricsRecorder",
     "MetricsSample",
     "NULL_PROFILER",
@@ -58,12 +66,17 @@ __all__ = [
     "NullTracer",
     "Observability",
     "Profiler",
+    "RunRecord",
+    "RunRegistry",
     "TRACE_COUNTER_SERIES",
     "TraceEvent",
     "Tracer",
     "config_hash",
+    "default_registry_dir",
     "parse_chrome_trace",
+    "registry_enabled",
     "run_metadata",
     "utilization_series",
     "validate_chrome_trace",
+    "validate_metrics_json",
 ]

@@ -19,21 +19,17 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.noc.base import CounterSet
-from repro.observability.metrics import MetricsRecorder, MetricsSample
+from repro.observability.metrics import (
+    HEADLINE_COUNTERS,
+    MetricsRecorder,
+    MetricsSample,
+)
 from repro.observability.profiler import NULL_PROFILER, NullProfiler, Profiler
 from repro.observability.tracer import NULL_TRACER, NullTracer, Tracer
 
 #: cumulative counter series mirrored into the Chrome trace as counter
 #: tracks (kept to the headline signals so traces stay viewer-friendly)
-TRACE_COUNTER_SERIES = (
-    "gb_reads",
-    "gb_writes",
-    "mn_multiplications",
-    "dn_elements_sent",
-    "rn_outputs_written",
-    "dram_bytes_read",
-    "dram_bytes_written",
-)
+TRACE_COUNTER_SERIES = HEADLINE_COUNTERS
 
 
 class Observability:

@@ -1,0 +1,825 @@
+"""Cross-run analysis over the run registry: diff, gate, attribute, report.
+
+Three analyses over :mod:`repro.observability.registry` records:
+
+- **regression sentinel** — ``diff`` compares two runs and ``check``
+  compares the latest registry runs against a committed baseline file,
+  keyed by (workload, config hash); deltas beyond the configured
+  thresholds exit non-zero, which is what lets CI gate on them;
+- **bottleneck attribution** — each layer is classified as compute- /
+  distribution- / reduction- / memory-bound from its activity counters
+  and the hardware's port widths, with a top-N "where the cycles went"
+  table;
+- **HTML report** — a self-contained page (inline SVG + CSS, no
+  JavaScript) with the run timeline, a per-layer utilization heatmap,
+  the attribution table, and — when a baseline is given — the
+  regression table.
+
+Runnable as a module (also reachable as ``stonne insight ...``)::
+
+    python -m repro.observability.insight list
+    python -m repro.observability.insight diff <run> <run>
+    python -m repro.observability.insight check --baseline baseline.json
+    python -m repro.observability.insight report latest -o report.html
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.observability.registry import RunRecord, RunRegistry
+
+#: bottleneck classes, in tie-breaking priority order
+BOUND_KINDS = ("compute", "distribution", "reduction", "memory")
+
+#: a layer whose busiest resource sits below this fraction is not
+#: meaningfully bound by anything — call it underutilized instead
+UNDERUTILIZED_BELOW = 0.05
+
+#: baseline file schema version
+BASELINE_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# bottleneck attribution
+# ----------------------------------------------------------------------
+def layer_utilization(layer: Mapping, config: Mapping) -> Dict[str, float]:
+    """Per-resource busy fractions of one recorded layer.
+
+    Mirrors :meth:`SimulationReport.component_utilization` at layer
+    granularity, extended with a DRAM-pressure axis so memory-bound
+    layers are attributable: each axis is activity divided by the
+    resource's capacity over the layer's cycle window.
+    """
+    cycles = int(layer.get("cycles", 0))
+    if cycles <= 0:
+        return {kind: 0.0 for kind in BOUND_KINDS}
+    counters = layer.get("counters", {})
+    num_ms = max(1, int(config.get("num_ms", 1)))
+    dn_bw = max(1, int(config.get("dn_bandwidth", 1)))
+    rn_bw = max(1, int(config.get("rn_bandwidth", 1)))
+    clock = float(config.get("clock_ghz", 1.0)) or 1.0
+    dram_bpc = float(config.get("dram_bandwidth_gbps", 0.0)) / clock
+
+    compute = float(layer.get("macs", 0)) / (num_ms * cycles)
+    distribution = max(
+        float(counters.get("dn_busy_cycles", 0.0)) / cycles,
+        min(1.0, float(counters.get("gb_reads", 0.0)) / (dn_bw * cycles)),
+    )
+    reduction = min(1.0, float(counters.get("gb_writes", 0.0)) / (rn_bw * cycles))
+    dram_bytes = (float(counters.get("dram_bytes_read", 0.0))
+                  + float(counters.get("dram_bytes_written", 0.0)))
+    memory = (min(1.0, dram_bytes / (dram_bpc * cycles)) if dram_bpc > 0
+              else 0.0)
+    return {
+        "compute": round(compute, 6),
+        "distribution": round(distribution, 6),
+        "reduction": round(reduction, 6),
+        "memory": round(memory, 6),
+    }
+
+
+def classify_layer(layer: Mapping, config: Mapping) -> Dict[str, object]:
+    """Utilization axes plus the bound classification of one layer."""
+    utilization = layer_utilization(layer, config)
+    if int(layer.get("cycles", 0)) <= 0:
+        bound = "idle"
+    else:
+        bound = max(BOUND_KINDS, key=lambda kind: utilization[kind])
+        if utilization[bound] < UNDERUTILIZED_BELOW:
+            bound = "underutilized"
+    return {"bound": bound, **utilization}
+
+
+def attribute(record: RunRecord) -> List[Dict[str, object]]:
+    """Per-layer bottleneck rows for one registered run, in layer order."""
+    config = record.payload.get("config", {})
+    total = record.total_cycles or 0
+    rows: List[Dict[str, object]] = []
+    for layer in record.layers:
+        row = {
+            "layer": layer.get("name", "?"),
+            "kind": layer.get("kind", "?"),
+            "cycles": int(layer.get("cycles", 0)),
+            "share": (int(layer.get("cycles", 0)) / total) if total else 0.0,
+            **classify_layer(layer, config),
+        }
+        rows.append(row)
+    return rows
+
+
+def top_layers(record: RunRecord, n: int = 10) -> List[Dict[str, object]]:
+    """The n most cycle-expensive layers — "where the cycles went"."""
+    rows = attribute(record)
+    rows.sort(key=lambda row: (-row["cycles"], row["layer"]))
+    return rows[:n]
+
+
+def bound_summary(record: RunRecord) -> Dict[str, float]:
+    """Fraction of total cycles spent in each bottleneck class."""
+    total = record.total_cycles or 0
+    shares: Dict[str, float] = {}
+    for row in attribute(record):
+        shares[row["bound"]] = shares.get(row["bound"], 0.0) + row["cycles"]
+    if total:
+        shares = {k: round(v / total, 6) for k, v in shares.items()}
+    return dict(sorted(shares.items(), key=lambda kv: -kv[1]))
+
+
+# ----------------------------------------------------------------------
+# regression sentinel
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Thresholds:
+    """Relative-delta gates, in percent; ``None`` disables an axis."""
+
+    cycles_pct: float = 0.0
+    energy_pct: float = 0.5
+    wall_pct: Optional[float] = None
+
+
+def _pct(old: float, new: float) -> float:
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - old) / old * 100.0
+
+
+def diff_records(
+    old: RunRecord, new: RunRecord, thresholds: Thresholds = Thresholds()
+) -> Dict[str, object]:
+    """Compare two registered runs; flags deltas beyond the thresholds.
+
+    Cycles and energy are gated on absolute relative delta (a change in
+    either direction means the runs no longer agree); wall-clock — when
+    gated at all — only on increases, since hosts differ.
+    """
+    deltas = {
+        "cycles": {
+            "old": old.total_cycles, "new": new.total_cycles,
+            "pct": _pct(old.total_cycles, new.total_cycles),
+        },
+        "energy_total_uj": {
+            "old": old.energy_total_uj, "new": new.energy_total_uj,
+            "pct": _pct(old.energy_total_uj, new.energy_total_uj),
+        },
+    }
+    if old.wall_clock_s is not None and new.wall_clock_s is not None:
+        deltas["wall_clock_s"] = {
+            "old": old.wall_clock_s, "new": new.wall_clock_s,
+            "pct": _pct(old.wall_clock_s, new.wall_clock_s),
+        }
+
+    violations: List[str] = []
+    if (thresholds.cycles_pct is not None
+            and abs(deltas["cycles"]["pct"]) > thresholds.cycles_pct):
+        violations.append(
+            f"cycles {old.total_cycles} -> {new.total_cycles} "
+            f"({deltas['cycles']['pct']:+.3f}% > ±{thresholds.cycles_pct}%)"
+        )
+    if (thresholds.energy_pct is not None
+            and abs(deltas["energy_total_uj"]["pct"]) > thresholds.energy_pct):
+        violations.append(
+            f"energy {old.energy_total_uj:.4f} -> {new.energy_total_uj:.4f} uJ "
+            f"({deltas['energy_total_uj']['pct']:+.3f}% "
+            f"> ±{thresholds.energy_pct}%)"
+        )
+    if (thresholds.wall_pct is not None and "wall_clock_s" in deltas
+            and deltas["wall_clock_s"]["pct"] > thresholds.wall_pct):
+        violations.append(
+            f"wall-clock {old.wall_clock_s:.3f}s -> {new.wall_clock_s:.3f}s "
+            f"({deltas['wall_clock_s']['pct']:+.1f}% > +{thresholds.wall_pct}%)"
+        )
+
+    old_layers = {(i, l.get("name")): l for i, l in enumerate(old.layers)}
+    layer_deltas: List[Dict[str, object]] = []
+    for i, layer in enumerate(new.layers):
+        key = (i, layer.get("name"))
+        base = old_layers.get(key)
+        if base is None:
+            layer_deltas.append({"layer": layer.get("name"), "status": "added"})
+            continue
+        if int(base.get("cycles", 0)) != int(layer.get("cycles", 0)):
+            layer_deltas.append({
+                "layer": layer.get("name"),
+                "status": "changed",
+                "old_cycles": int(base.get("cycles", 0)),
+                "new_cycles": int(layer.get("cycles", 0)),
+                "pct": _pct(base.get("cycles", 0), layer.get("cycles", 0)),
+            })
+    if len(old.layers) != len(new.layers):
+        violations.append(
+            f"layer count {len(old.layers)} -> {len(new.layers)}"
+        )
+
+    return {
+        "old_run": old.run_id,
+        "new_run": new.run_id,
+        "workload_match": old.workload == new.workload,
+        "config_match": (bool(old.config_hash)
+                         and old.config_hash == new.config_hash),
+        "deltas": deltas,
+        "layer_deltas": layer_deltas,
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+def load_baseline(path: Path) -> Dict:
+    """Read and structurally validate a committed baseline file."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "baselines" not in payload:
+        raise ValueError(f"{path}: baseline file needs a 'baselines' list")
+    if int(payload.get("schema", 0)) != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: baseline schema {payload.get('schema')!r} != "
+            f"{BASELINE_SCHEMA}"
+        )
+    for index, entry in enumerate(payload["baselines"]):
+        for key in ("workload", "config_hash", "total_cycles"):
+            if key not in entry:
+                raise ValueError(
+                    f"{path}: baselines[{index}] missing {key!r}"
+                )
+    return payload
+
+
+def baseline_thresholds(payload: Mapping,
+                        override: Optional[Thresholds] = None) -> Thresholds:
+    if override is not None:
+        return override
+    raw = payload.get("thresholds", {})
+    return Thresholds(
+        cycles_pct=float(raw.get("cycles_pct", 0.0)),
+        energy_pct=float(raw.get("energy_pct", 0.5)),
+        wall_pct=raw.get("wall_pct"),
+    )
+
+
+def check_baseline(
+    registry: RunRegistry,
+    baseline: Mapping,
+    thresholds: Optional[Thresholds] = None,
+) -> Tuple[List[Dict[str, object]], bool]:
+    """Gate the latest registry runs against every baseline entry.
+
+    For each (workload, config hash) entry the newest matching run is
+    compared; a missing run fails the check — a sentinel that silently
+    skips workloads is not a sentinel.
+    """
+    gates = baseline_thresholds(baseline, thresholds)
+    results: List[Dict[str, object]] = []
+    ok = True
+    for entry in baseline["baselines"]:
+        record = registry.latest(
+            workload=entry["workload"], config_hash=entry["config_hash"]
+        )
+        if record is None:
+            results.append({
+                "workload": entry["workload"],
+                "config_hash": entry["config_hash"],
+                "status": "missing",
+                "detail": "no registered run for this (workload, config)",
+            })
+            ok = False
+            continue
+        violations: List[str] = []
+        cycles_pct = _pct(entry["total_cycles"], record.total_cycles)
+        if abs(cycles_pct) > gates.cycles_pct:
+            violations.append(
+                f"cycles {entry['total_cycles']} -> {record.total_cycles} "
+                f"({cycles_pct:+.3f}%)"
+            )
+        if "energy_total_uj" in entry and gates.energy_pct is not None:
+            energy_pct = _pct(entry["energy_total_uj"], record.energy_total_uj)
+            if abs(energy_pct) > gates.energy_pct:
+                violations.append(
+                    f"energy {entry['energy_total_uj']:.4f} -> "
+                    f"{record.energy_total_uj:.4f} uJ ({energy_pct:+.3f}%)"
+                )
+        results.append({
+            "workload": entry["workload"],
+            "config_hash": entry["config_hash"],
+            "run_id": record.run_id,
+            "status": "ok" if not violations else "regressed",
+            "baseline_cycles": entry["total_cycles"],
+            "run_cycles": record.total_cycles,
+            "cycles_pct": cycles_pct,
+            "detail": "; ".join(violations),
+        })
+        ok = ok and not violations
+    return results, ok
+
+
+def export_baseline(records: Sequence[RunRecord],
+                    thresholds: Thresholds = Thresholds()) -> Dict:
+    """Baseline payload pinning the given runs (one entry per record)."""
+    return {
+        "schema": BASELINE_SCHEMA,
+        "thresholds": {
+            "cycles_pct": thresholds.cycles_pct,
+            "energy_pct": thresholds.energy_pct,
+        },
+        "baselines": [
+            {
+                "workload": record.workload,
+                "config_name": record.config_name,
+                "config_hash": record.config_hash,
+                "total_cycles": record.total_cycles,
+                "total_macs": record.total_macs,
+                "energy_total_uj": record.energy_total_uj,
+                "run_id": record.run_id,
+                "created_utc": record.created_utc,
+            }
+            for record in records
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# HTML report (inline SVG, no JavaScript)
+# ----------------------------------------------------------------------
+_BOUND_COLORS = {
+    "compute": "#4c78a8",
+    "distribution": "#f58518",
+    "reduction": "#54a24b",
+    "memory": "#e45756",
+    "underutilized": "#b5b5b5",
+    "idle": "#dddddd",
+}
+
+#: the heatmap draws at most this many layers (largest first); the
+#: report states the truncation explicitly rather than hiding it
+HEATMAP_MAX_LAYERS = 48
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _timeline_svg(record: RunRecord, rows: List[Dict], width: int = 940,
+                  height: int = 56) -> str:
+    """One horizontal bar: layer windows colored by bottleneck class."""
+    total = record.total_cycles
+    if not total or not rows:
+        return "<p>(no cycles recorded)</p>"
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="run timeline">'
+    ]
+    x = 0.0
+    for row in rows:
+        w = width * row["cycles"] / total
+        color = _BOUND_COLORS.get(row["bound"], "#888888")
+        title = (f"{row['layer']} ({row['kind']}): {row['cycles']} cycles, "
+                 f"{row['share']:.1%}, {row['bound']}-bound")
+        parts.append(
+            f'<rect x="{x:.2f}" y="8" width="{max(w, 0.5):.2f}" height="32" '
+            f'fill="{color}" stroke="#ffffff" stroke-width="0.5">'
+            f"<title>{_esc(title)}</title></rect>"
+        )
+        x += w
+    parts.append(
+        f'<text x="0" y="{height - 4}" font-size="11" fill="#555">0</text>'
+        f'<text x="{width}" y="{height - 4}" font-size="11" fill="#555" '
+        f'text-anchor="end">{total} cycles</text></svg>'
+    )
+    return "".join(parts)
+
+
+def _heatmap_svg(rows: List[Dict], cell: int = 26, label_w: int = 220) -> str:
+    """Layers × bottleneck-axes utilization heatmap."""
+    if not rows:
+        return "<p>(no layers)</p>"
+    shown = sorted(rows, key=lambda r: -r["cycles"])[:HEATMAP_MAX_LAYERS]
+    shown.sort(key=lambda r: rows.index(r))  # back to execution order
+    width = label_w + cell * len(BOUND_KINDS) + 8
+    height = 22 + cell * len(shown)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="utilization heatmap">'
+    ]
+    for i, kind in enumerate(BOUND_KINDS):
+        parts.append(
+            f'<text x="{label_w + i * cell + cell / 2}" y="14" '
+            f'font-size="10" text-anchor="middle" fill="#333">'
+            f"{kind[:4]}</text>"
+        )
+    for j, row in enumerate(shown):
+        y = 22 + j * cell
+        parts.append(
+            f'<text x="{label_w - 6}" y="{y + cell / 2 + 4}" font-size="10" '
+            f'text-anchor="end" fill="#333">{_esc(row["layer"][:34])}</text>'
+        )
+        for i, kind in enumerate(BOUND_KINDS):
+            value = float(row[kind])
+            parts.append(
+                f'<rect x="{label_w + i * cell}" y="{y}" width="{cell - 2}" '
+                f'height="{cell - 2}" fill="{_BOUND_COLORS[kind]}" '
+                f'fill-opacity="{max(0.06, value):.3f}" stroke="#eee">'
+                f"<title>{_esc(row['layer'])} {kind}: {value:.1%}</title>"
+                f"</rect>"
+            )
+    parts.append("</svg>")
+    note = ""
+    if len(rows) > len(shown):
+        note = (f"<p class='note'>showing the {len(shown)} most "
+                f"cycle-expensive of {len(rows)} layers</p>")
+    return "".join(parts) + note
+
+
+def _attribution_table(rows: List[Dict], n: int) -> str:
+    ranked = sorted(rows, key=lambda r: (-r["cycles"], r["layer"]))[:n]
+    body = "".join(
+        "<tr>"
+        f"<td>{_esc(row['layer'])}</td><td>{_esc(row['kind'])}</td>"
+        f"<td class='num'>{row['cycles']}</td>"
+        f"<td class='num'>{row['share']:.1%}</td>"
+        f"<td><span class='dot' style='background:"
+        f"{_BOUND_COLORS.get(row['bound'], '#888')}'></span>"
+        f"{_esc(row['bound'])}</td>"
+        f"<td class='num'>{row['compute']:.1%}</td>"
+        f"<td class='num'>{row['distribution']:.1%}</td>"
+        f"<td class='num'>{row['reduction']:.1%}</td>"
+        f"<td class='num'>{row['memory']:.1%}</td>"
+        "</tr>"
+        for row in ranked
+    )
+    return (
+        "<table><thead><tr><th>layer</th><th>kind</th><th>cycles</th>"
+        "<th>share</th><th>bound</th><th>MN</th><th>DN</th><th>RN</th>"
+        "<th>DRAM</th></tr></thead><tbody>" + body + "</tbody></table>"
+    )
+
+
+def _regression_table(results: List[Dict]) -> str:
+    body = "".join(
+        "<tr class='{cls}'>"
+        "<td>{workload}</td><td><code>{chash}</code></td><td>{status}</td>"
+        "<td class='num'>{base}</td><td class='num'>{run}</td>"
+        "<td class='num'>{pct}</td><td>{detail}</td></tr>".format(
+            cls="bad" if result["status"] != "ok" else "good",
+            workload=_esc(result["workload"]),
+            chash=_esc(result["config_hash"][:8]),
+            status=_esc(result["status"]),
+            base=_esc(result.get("baseline_cycles", "-")),
+            run=_esc(result.get("run_cycles", "-")),
+            pct=(f"{result['cycles_pct']:+.3f}%"
+                 if "cycles_pct" in result else "-"),
+            detail=_esc(result.get("detail", "")),
+        )
+        for result in results
+    )
+    return (
+        "<table><thead><tr><th>workload</th><th>config</th><th>status</th>"
+        "<th>baseline cycles</th><th>run cycles</th><th>Δ</th>"
+        "<th>detail</th></tr></thead><tbody>" + body + "</tbody></table>"
+    )
+
+
+_CSS = """
+body { font: 14px/1.45 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       color: #222; margin: 2rem auto; max-width: 980px; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th, td { text-align: left; padding: 4px 8px; border-bottom: 1px solid #eee; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr.bad td { background: #fdecea; } tr.good td { background: #f2f9f2; }
+.dot { display: inline-block; width: 10px; height: 10px;
+       border-radius: 2px; margin-right: 5px; }
+.meta { color: #555; font-size: 12px; }
+.legend span { margin-right: 14px; font-size: 12px; }
+.note { color: #777; font-size: 12px; }
+code { background: #f5f5f5; padding: 1px 4px; border-radius: 3px; }
+"""
+
+
+def render_html(
+    record: RunRecord,
+    check_results: Optional[List[Dict]] = None,
+    top: int = 15,
+) -> str:
+    """Self-contained HTML report for one registered run."""
+    rows = attribute(record)
+    totals = record.payload.get("totals", {})
+    metadata = record.payload.get("metadata", {})
+    utilization = record.payload.get("utilization", {})
+    shares = bound_summary(record)
+    legend = "".join(
+        f"<span><span class='dot' style='background:{color}'></span>"
+        f"{kind}</span>"
+        for kind, color in _BOUND_COLORS.items()
+    )
+    meta_rows = "".join(
+        f"<tr><th>{_esc(key)}</th><td>{_esc(value)}</td></tr>"
+        for key, value in (
+            ("run id", record.run_id),
+            ("workload", record.workload),
+            ("recorded", record.created_utc),
+            ("source", record.source),
+            ("config", f"{record.config_name} "
+                       f"(hash {record.config_hash or '-'})"),
+            ("total cycles", f"{record.total_cycles:,}"),
+            ("total MACs", f"{record.total_macs:,}"),
+            ("energy", f"{record.energy_total_uj:.4f} uJ"),
+            ("runtime", f"{totals.get('runtime_us', 0):.3f} us"),
+            ("wall-clock", (f"{record.wall_clock_s:.3f} s"
+                            if record.wall_clock_s is not None else "-")),
+            ("cached", str(record.cached).lower()),
+            ("tool", f"{metadata.get('tool', '?')} "
+                     f"{metadata.get('version', '')}"),
+        )
+    )
+    util_rows = "".join(
+        f"<tr><th>{_esc(key)}</th><td class='num'>{value:.2%}</td></tr>"
+        for key, value in utilization.items()
+    )
+    share_line = ", ".join(f"{kind}: {value:.1%}"
+                           for kind, value in shares.items())
+    sections = [
+        f"<h1>STONNE run report — {_esc(record.workload)}</h1>",
+        f"<table class='meta'>{meta_rows}</table>",
+        "<h2>Timeline</h2>",
+        f"<div class='legend'>{legend}</div>",
+        _timeline_svg(record, rows),
+        f"<p class='meta'>cycle share by bottleneck class: "
+        f"{_esc(share_line) or '-'}</p>",
+        f"<h2>Where the cycles went (top {top})</h2>",
+        _attribution_table(rows, top),
+        "<h2>Utilization heatmap</h2>",
+        _heatmap_svg(rows),
+        "<h2>Run-level utilization</h2>",
+        f"<table>{util_rows or '<tr><td>(none)</td></tr>'}</table>",
+    ]
+    if check_results is not None:
+        sections += ["<h2>Regression check</h2>",
+                     _regression_table(check_results)]
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>STONNE run {_esc(record.run_id)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        + "".join(sections) + "</body></html>"
+    )
+
+
+# ----------------------------------------------------------------------
+# command line
+# ----------------------------------------------------------------------
+def _open_registry(args: argparse.Namespace) -> RunRegistry:
+    return RunRegistry(args.registry_dir)
+
+
+def _threshold_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cycles-pct", type=float, default=None,
+                        help="max |cycle delta| in percent (default 0)")
+    parser.add_argument("--energy-pct", type=float, default=None,
+                        help="max |energy delta| in percent (default 0.5)")
+    parser.add_argument("--wall-pct", type=float, default=None,
+                        help="max wall-clock increase in percent "
+                             "(default: not gated)")
+
+
+def _thresholds_from(args: argparse.Namespace,
+                     base: Thresholds = Thresholds()) -> Thresholds:
+    return Thresholds(
+        cycles_pct=(args.cycles_pct if args.cycles_pct is not None
+                    else base.cycles_pct),
+        energy_pct=(args.energy_pct if args.energy_pct is not None
+                    else base.energy_pct),
+        wall_pct=args.wall_pct if args.wall_pct is not None else base.wall_pct,
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    with _open_registry(args) as registry:
+        records = registry.list_runs(workload=args.workload, limit=args.limit)
+    if not records:
+        print("(registry is empty)")
+        return 0
+    print(f"{'run id':<13s} {'recorded (UTC)':<20s} {'workload':<28s} "
+          f"{'config':<10s} {'cycles':>12s} {'energy uJ':>12s} "
+          f"{'wall s':>8s} {'cached':>6s}")
+    for record in records:
+        wall = (f"{record.wall_clock_s:.2f}"
+                if record.wall_clock_s is not None else "-")
+        print(f"{record.run_id:<13s} {record.created_utc[:19]:<20s} "
+              f"{record.workload[:28]:<28s} "
+              f"{(record.config_hash or record.config_name)[:8]:<10s} "
+              f"{record.total_cycles:>12,d} {record.energy_total_uj:>12.4f} "
+              f"{wall:>8s} {str(record.cached).lower():>6s}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    with _open_registry(args) as registry:
+        record = registry.resolve(args.run)
+    print(json.dumps(record.as_dict(), indent=2))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    with _open_registry(args) as registry:
+        old = registry.resolve(args.old)
+        new = registry.resolve(args.new)
+    result = diff_records(old, new, _thresholds_from(args))
+    if not result["workload_match"]:
+        print(f"note: comparing different workloads "
+              f"({old.workload!r} vs {new.workload!r})", file=sys.stderr)
+    if not result["config_match"]:
+        print(f"note: comparing different configurations "
+              f"({old.config_hash or '-'} vs {new.config_hash or '-'})",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        for axis, delta in result["deltas"].items():
+            print(f"{axis:16s} {delta['old']} -> {delta['new']} "
+                  f"({delta['pct']:+.3f}%)")
+        for layer in result["layer_deltas"][:20]:
+            if layer.get("status") == "changed":
+                print(f"  layer {layer['layer']}: {layer['old_cycles']} -> "
+                      f"{layer['new_cycles']} cycles ({layer['pct']:+.3f}%)")
+            else:
+                print(f"  layer {layer['layer']}: {layer['status']}")
+        if len(result["layer_deltas"]) > 20:
+            print(f"  ... {len(result['layer_deltas']) - 20} more "
+                  f"layer deltas (use --json for all)")
+    if result["violations"]:
+        for violation in result["violations"]:
+            print(f"REGRESSION: {violation}", file=sys.stderr)
+        return 1
+    print("ok: runs agree within thresholds")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    baseline = load_baseline(Path(args.baseline))
+    override = None
+    if (args.cycles_pct is not None or args.energy_pct is not None
+            or args.wall_pct is not None):
+        override = _thresholds_from(args, baseline_thresholds(baseline))
+    with _open_registry(args) as registry:
+        results, ok = check_baseline(registry, baseline, override)
+    for result in results:
+        status = result["status"]
+        line = f"[{status:>9s}] {result['workload']} ({result['config_hash'][:8]})"
+        if "run_cycles" in result:
+            line += (f": {result['baseline_cycles']} -> "
+                     f"{result['run_cycles']} cycles "
+                     f"({result['cycles_pct']:+.3f}%)")
+        if result.get("detail"):
+            line += f" — {result['detail']}"
+        print(line)
+    if not ok:
+        print("regression sentinel: FAIL", file=sys.stderr)
+        return 1
+    print(f"regression sentinel: {len(results)} workload(s) ok")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    with _open_registry(args) as registry:
+        record = registry.resolve(args.run)
+        check_results = None
+        if args.baseline:
+            baseline = load_baseline(Path(args.baseline))
+            check_results, _ = check_baseline(registry, baseline)
+    text = render_html(record, check_results, top=args.top)
+    Path(args.out).write_text(text, encoding="utf-8")
+    print(f"report written to {args.out}")
+    return 0
+
+
+def _cmd_attribute(args: argparse.Namespace) -> int:
+    with _open_registry(args) as registry:
+        record = registry.resolve(args.run)
+    rows = top_layers(record, n=args.top)
+    print(f"{'layer':<30s} {'kind':<8s} {'cycles':>10s} {'share':>7s} "
+          f"{'bound':<14s} {'MN':>6s} {'DN':>6s} {'RN':>6s} {'DRAM':>6s}")
+    for row in rows:
+        print(f"{row['layer'][:30]:<30s} {row['kind']:<8s} "
+              f"{row['cycles']:>10d} {row['share']:>6.1%} "
+              f"{row['bound']:<14s} {row['compute']:>6.1%} "
+              f"{row['distribution']:>6.1%} {row['reduction']:>6.1%} "
+              f"{row['memory']:>6.1%}")
+    shares = bound_summary(record)
+    print("cycle share by class: "
+          + (", ".join(f"{k}: {v:.1%}" for k, v in shares.items()) or "-"))
+    return 0
+
+
+def _cmd_prune(args: argparse.Namespace) -> int:
+    with _open_registry(args) as registry:
+        deleted = registry.prune(keep=args.keep, workload=args.workload)
+        remaining = registry.count()
+    print(f"pruned {deleted} run(s); {remaining} remain")
+    return 0
+
+
+def _cmd_export_baseline(args: argparse.Namespace) -> int:
+    with _open_registry(args) as registry:
+        records = [registry.resolve(ref) for ref in args.runs]
+    payload = export_baseline(records, _thresholds_from(args))
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"baseline with {len(records)} entr(ies) written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.insight",
+        description="cross-run analysis over the STONNE run registry",
+    )
+    parser.add_argument("--registry-dir", metavar="DIR", default=None,
+                        help="registry location (default ~/.stonne_runs, "
+                             "or $STONNE_RUNS_DIR)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cmd = sub.add_parser("list", help="list registered runs, newest first")
+    cmd.add_argument("--workload", help="filter by workload name")
+    cmd.add_argument("--limit", type=int, default=30)
+    cmd.set_defaults(func=_cmd_list)
+
+    cmd = sub.add_parser("show", help="print one run's full record as JSON")
+    cmd.add_argument("run", help="run id, unique prefix, or 'latest'")
+    cmd.set_defaults(func=_cmd_show)
+
+    cmd = sub.add_parser(
+        "diff", help="compare two runs; exit 1 beyond thresholds"
+    )
+    cmd.add_argument("old")
+    cmd.add_argument("new")
+    cmd.add_argument("--json", action="store_true")
+    _threshold_args(cmd)
+    cmd.set_defaults(func=_cmd_diff)
+
+    cmd = sub.add_parser(
+        "check",
+        help="gate latest runs against a committed baseline; exit 1 on "
+             "regression (CI)",
+    )
+    cmd.add_argument("--baseline", required=True,
+                     help="baseline JSON (see 'export-baseline')")
+    _threshold_args(cmd)
+    cmd.set_defaults(func=_cmd_check)
+
+    cmd = sub.add_parser(
+        "report", help="write a self-contained HTML report for one run"
+    )
+    cmd.add_argument("run", help="run id, unique prefix, or 'latest'")
+    cmd.add_argument("-o", "--out", default="stonne-report.html")
+    cmd.add_argument("--baseline",
+                     help="include a regression table against this baseline")
+    cmd.add_argument("--top", type=int, default=15)
+    cmd.set_defaults(func=_cmd_report)
+
+    cmd = sub.add_parser(
+        "attribute", help="per-layer bottleneck attribution table"
+    )
+    cmd.add_argument("run", help="run id, unique prefix, or 'latest'")
+    cmd.add_argument("--top", type=int, default=10)
+    cmd.set_defaults(func=_cmd_attribute)
+
+    cmd = sub.add_parser(
+        "prune", help="keep only the newest N runs per (workload, config)"
+    )
+    cmd.add_argument("--keep", type=int, default=20)
+    cmd.add_argument("--workload")
+    cmd.set_defaults(func=_cmd_prune)
+
+    cmd = sub.add_parser(
+        "export-baseline",
+        help="pin runs into a baseline JSON for 'check'",
+    )
+    cmd.add_argument("runs", nargs="+",
+                     help="run ids / prefixes / 'latest:<workload>'")
+    cmd.add_argument("--out", help="output path (default: stdout)")
+    _threshold_args(cmd)
+    cmd.set_defaults(func=_cmd_export_baseline)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,19 @@ from typing import Deque, Dict, List, Mapping, Optional, Union
 
 from repro.noc.base import CounterSet
 
+#: the headline activity signals: mirrored into Chrome traces as counter
+#: tracks and used as the default column set of :meth:`MetricsRecorder.summary`
+#: so empty runs still report a stable, zeroed schema
+HEADLINE_COUNTERS = (
+    "gb_reads",
+    "gb_writes",
+    "mn_multiplications",
+    "dn_elements_sent",
+    "rn_outputs_written",
+    "dram_bytes_read",
+    "dram_bytes_written",
+)
+
 
 @dataclass(frozen=True)
 class MetricsSample:
@@ -192,13 +205,26 @@ class MetricsRecorder:
             Path(path).write_text(text, encoding="utf-8")
         return text
 
-    def summary(self) -> Dict[str, float]:
-        """Headline numbers for report attachment."""
-        return {
-            "metrics_every": float(self.every),
-            "metrics_samples": float(len(self._ring)),
-            "metrics_dropped": float(self.dropped),
+    def summary(self, columns: Optional[List[str]] = None) -> Dict[str, float]:
+        """Headline numbers for report attachment.
+
+        Always includes ``samples`` (``0.0`` on an empty ring) and one
+        entry per counter column — the last cumulative value, or ``0.0``
+        when nothing was recorded — so downstream consumers (the run
+        registry, CSV tooling) see a stable schema instead of having to
+        special-case empty runs.
+        """
+        if columns is None:
+            columns = self.columns() or list(HEADLINE_COUNTERS)
+        last = self._ring[-1].values if self._ring else {}
+        result = {
+            "every": float(self.every),
+            "samples": float(len(self._ring)),
+            "dropped": float(self.dropped),
         }
+        for column in columns:
+            result[column] = float(last.get(column, 0.0))
+        return result
 
 
 def utilization_series(recorder: MetricsRecorder, num_ms: int) -> List[Dict[str, float]]:

@@ -58,7 +58,9 @@ def _simulate_workload(
 
     Runs in worker processes (everything crossing the boundary is
     picklable) and in the parent for the serial path and fallbacks, so
-    every execution mode shares one code path.
+    every execution mode shares one code path. Workers never open a run
+    registry: per-layer fragments are not runs — only the parent's
+    merged report is registered, once, by whoever drove the model.
     """
     obs = Observability.create(trace=trace, metrics_every=metrics_every)
     acc = Accelerator(config, observability=obs)
@@ -303,6 +305,10 @@ class ParallelModelRunner:
                 "parallel_cache_hits": cache_hits,
                 "parallel_deduplicated": len(shared_from),
                 "parallel_fallbacks": fallbacks,
+                # run-registry consumers mark fully cache-served runs as
+                # cached; carried in metadata (never in layer payloads,
+                # which must stay byte-identical to a serial run)
+                "parallel_all_cached": bool(workloads) and not misses,
             })
         return ModelRunResult(
             output=output,

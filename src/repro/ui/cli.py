@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import sqlite3
 import sys
+import time
 from typing import Optional, Sequence
 
 import numpy as np
@@ -77,12 +79,29 @@ def _add_hw_args(parser: argparse.ArgumentParser) -> None:
                         default="chrome",
                         help="trace format: chrome://tracing JSON or JSONL")
     parser.add_argument("--metrics", metavar="PATH",
-                        help="write the counter time series (CSV) to PATH")
+                        help="write the counter time series to PATH")
+    parser.add_argument("--metrics-format", choices=("csv", "json"),
+                        default="csv",
+                        help="metrics export format (json is validatable "
+                             "with repro.observability.validate)")
     parser.add_argument("--metrics-every", type=int, default=0, metavar="N",
                         help="sample counters every N cycles "
                              "(default 64 when --metrics is given)")
     parser.add_argument("--profile", action="store_true",
                         help="print a wall-clock phase profile of the simulator")
+    _add_registry_args(parser)
+
+
+def _add_registry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--registry", action="store_true", dest="registry",
+                        default=None,
+                        help="record this run in the run registry "
+                             "(default: on; STONNE_REGISTRY=0 disables)")
+    parser.add_argument("--no-registry", action="store_false", dest="registry",
+                        help="do not record this run in the run registry")
+    parser.add_argument("--registry-dir", metavar="DIR", default=None,
+                        help="registry location (default ~/.stonne_runs, "
+                             "or $STONNE_RUNS_DIR)")
 
 
 def _parse_tile(text: Optional[str]) -> Optional[TileConfig]:
@@ -128,7 +147,10 @@ def _finish_observability(acc: Accelerator, args: argparse.Namespace) -> None:
         print(f"trace written to {args.trace}", file=sys.stderr)
     if args.metrics and obs.metrics is not None:
         try:
-            obs.metrics.to_csv(args.metrics)
+            if args.metrics_format == "json":
+                obs.metrics.to_json(args.metrics)
+            else:
+                obs.metrics.to_csv(args.metrics)
         except OSError as exc:
             raise StonneError(f"cannot write metrics to {args.metrics}: {exc}")
         print(f"metrics written to {args.metrics} "
@@ -136,6 +158,46 @@ def _finish_observability(acc: Accelerator, args: argparse.Namespace) -> None:
               f"{obs.metrics.every} cycles)", file=sys.stderr)
     if args.profile:
         print(obs.profiler.format_summary(), file=sys.stderr)
+
+
+def _registry_wanted(args: argparse.Namespace) -> bool:
+    from repro.observability.registry import registry_enabled
+
+    if args.registry is not None:
+        return args.registry
+    return registry_enabled(default=True)
+
+
+def _finish_registry(
+    acc: Accelerator,
+    args: argparse.Namespace,
+    workload: str,
+    wall_clock_s: Optional[float] = None,
+    cached: bool = False,
+) -> None:
+    """Append the finished run to the registry (CLI default: on).
+
+    Registration is best-effort: a broken registry store warns and never
+    fails a run whose simulation already succeeded.
+    """
+    if not _registry_wanted(args):
+        return
+    from repro.observability.registry import RunRegistry
+
+    metrics = acc.obs.metrics
+    try:
+        with RunRegistry(args.registry_dir) as registry:
+            run_id = registry.record_report(
+                acc.report,
+                workload=workload,
+                source=f"cli:{args.command}",
+                wall_clock_s=wall_clock_s,
+                cached=cached,
+                metrics=metrics.summary() if metrics is not None else None,
+            )
+        print(f"run registered as {run_id}", file=sys.stderr)
+    except (sqlite3.Error, OSError) as exc:
+        print(f"warning: run not registered: {exc}", file=sys.stderr)
 
 
 def _report(acc: Accelerator, as_json: bool) -> None:
@@ -161,11 +223,19 @@ def _cmd_conv(args: argparse.Namespace) -> int:
     activations = rng.standard_normal(
         (args.N, args.C * args.G, args.X, args.Y)
     ).astype(np.float32)
+    started = time.perf_counter()
     acc.run_conv(
         weights, activations, stride=args.strides, groups=args.G,
         tile=_parse_tile(args.tile), name="cli-conv",
     )
+    wall = time.perf_counter() - started
     _finish_observability(acc, args)
+    _finish_registry(
+        acc, args,
+        workload=(f"conv:{args.R}x{args.S}x{args.C}x{args.K}g{args.G}"
+                  f"n{args.N}x{args.X}x{args.Y}s{args.strides}"),
+        wall_clock_s=wall,
+    )
     _report(acc, args.json)
     return 0
 
@@ -179,11 +249,18 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
         from repro.analytical.sigma_model import uniform_sparse_matrix
 
         a = uniform_sparse_matrix(args.M, args.K, args.sparsity, seed=args.seed)
+    started = time.perf_counter()
     if acc.sparse_controller is not None:
         acc.run_spmm(a, b, name="cli-spmm")
     else:
         acc.run_gemm(a, b, name="cli-gemm")
+    wall = time.perf_counter() - started
     _finish_observability(acc, args)
+    _finish_registry(
+        acc, args,
+        workload=f"gemm:{args.M}x{args.N}x{args.K}s{args.sparsity:g}",
+        wall_clock_s=wall,
+    )
     _report(acc, args.json)
     return 0
 
@@ -201,6 +278,8 @@ def _cmd_model(args: argparse.Namespace) -> int:
     model = build_model(args.name, seed=args.seed, prune=not args.dense)
     x = model_input(args.name, batch=args.batch, seed=args.seed + 1)
     acc = Accelerator(_build_config(args), observability=_make_observability(args))
+    cached_run = False
+    started = time.perf_counter()
     if args.jobs != 1 or args.cache:
         from repro.parallel import SimCache
 
@@ -208,6 +287,7 @@ def _cmd_model(args: argparse.Namespace) -> int:
         result = simulate_parallel(
             model, acc, x, jobs=args.jobs or None, cache=cache
         )
+        cached_run = result.layers > 0 and result.simulated == 0
         print(
             f"parallel run: {result.layers} layers, "
             f"{result.simulated} simulated, {result.cache_hits} cache hits, "
@@ -219,44 +299,71 @@ def _cmd_model(args: argparse.Namespace) -> int:
         simulate(model, acc)
         model(x)
         detach_context(model)
+    wall = time.perf_counter() - started
     _finish_observability(acc, args)
+    _finish_registry(
+        acc, args,
+        workload=f"model:{args.name}:b{args.batch}",
+        wall_clock_s=wall,
+        cached=cached_run,
+    )
     _report(acc, args.json)
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import fig1, fig5, fig6, fig7, fig9, tablev
-    from repro.experiments.runner import format_table
+    from repro.experiments.runner import format_table, record_experiment
 
     name = args.which
+    started = time.perf_counter()
     if name == "fig1a":
-        print(format_table(fig1.run_fig1a()))
+        rows = fig1.run_fig1a()
+        print(format_table(rows))
     elif name == "fig1b":
-        print(format_table(fig1.run_fig1b()))
+        rows = fig1.run_fig1b()
+        print(format_table(rows))
     elif name == "fig1c":
-        print(format_table(fig1.run_fig1c()))
+        rows = fig1.run_fig1c()
+        print(format_table(rows))
     elif name == "tablev":
-        print(format_table(tablev.run_tablev()))
+        rows = tablev.run_tablev()
+        print(format_table(rows))
     elif name == "fig5":
         rows = fig5.run_fig5()
         print(format_table(rows, ["model", "arch", "cycles", "energy_total_uj"]))
         print(json.dumps(fig5.summarize_speedups(rows), indent=2))
     elif name == "fig5c":
-        print(format_table(fig5.run_fig5c()))
+        rows = fig5.run_fig5c()
+        print(format_table(rows))
     elif name == "fig6":
-        print(format_table(fig6.run_fig6()))
+        rows = fig6.run_fig6()
+        print(format_table(rows))
     elif name == "fig7a":
-        print(format_table(fig7.run_fig7a()))
+        rows = fig7.run_fig7a()
+        print(format_table(rows))
     elif name == "fig9":
-        print(format_table(fig9.run_fig9(), [
+        rows = fig9.run_fig9()
+        print(format_table(rows, [
             "model", "policy", "cycles", "normalized_runtime", "normalized_energy",
         ]))
     elif name == "fig9c":
-        print(format_table(fig9.run_fig9c(), [
+        rows = fig9.run_fig9c()
+        print(format_table(rows, [
             "label", "layer", "normalized_runtime", "normalized_energy",
         ]))
     else:  # pragma: no cover - argparse restricts choices
         raise StonneError(f"unknown experiment {name!r}")
+    wall = time.perf_counter() - started
+    if _registry_wanted(args):
+        try:
+            run_id = record_experiment(
+                name, rows, registry=args.registry_dir,
+                wall_clock_s=wall, source="cli:experiment",
+            )
+            print(f"run registered as {run_id}", file=sys.stderr)
+        except (sqlite3.Error, OSError) as exc:
+            print(f"warning: run not registered: {exc}", file=sys.stderr)
     return 0
 
 
@@ -324,7 +431,16 @@ def build_parser() -> argparse.ArgumentParser:
         "fig1a", "fig1b", "fig1c", "tablev", "fig5", "fig5c", "fig6",
         "fig7a", "fig9", "fig9c",
     ))
+    _add_registry_args(experiment)
     experiment.set_defaults(func=_cmd_experiment)
+
+    insight = sub.add_parser(
+        "insight",
+        help="cross-run analysis: list/diff/check/report over the registry",
+        add_help=False,
+    )
+    insight.add_argument("insight_args", nargs=argparse.REMAINDER)
+    insight.set_defaults(func=_cmd_insight)
 
     mkconfig = sub.add_parser("mkconfig", help="write a preset hardware .cfg file")
     mkconfig.add_argument("path")
@@ -463,6 +579,16 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_insight(args: argparse.Namespace) -> int:
+    """Forward ``stonne insight ...`` to the insight module's own CLI."""
+    from repro.observability.insight import main as insight_main
+
+    forwarded = list(args.insight_args)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return insight_main(forwarded)
+
+
 def _cmd_interactive(args: argparse.Namespace) -> int:
     from repro.ui.interactive import run_interactive
 
@@ -470,6 +596,14 @@ def _cmd_interactive(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse's REMAINDER does not capture leading option strings
+    # (bpo-17050), so the insight passthrough is dispatched up front
+    if argv and argv[0] == "insight":
+        from repro.observability.insight import main as insight_main
+
+        return insight_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

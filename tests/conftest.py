@@ -6,6 +6,16 @@ import pytest
 from repro.config import maeri_like, sigma_like, tpu_like
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_registry(tmp_path, monkeypatch):
+    """Point the run registry at a per-test directory.
+
+    The CLI registers runs by default; without this, tests exercising it
+    would write into the developer's real ``~/.stonne_runs`` store.
+    """
+    monkeypatch.setenv("STONNE_RUNS_DIR", str(tmp_path / "stonne-runs"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

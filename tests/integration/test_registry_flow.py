@@ -1,0 +1,147 @@
+"""End-to-end run-registry flow: CLI recording, insight gating, invariants."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import maeri_like
+from repro.engine.accelerator import Accelerator
+from repro.observability.insight import main as insight_main
+from repro.observability.registry import RunRegistry
+from repro.ui.cli import main as cli_main
+
+CONV = ["conv", "-R", "3", "-S", "3", "-C", "4", "-K", "4",
+        "-X", "6", "-Y", "6", "--arch", "maeri", "--num-ms", "16",
+        "--bw", "8"]
+
+
+def _registered_ids(err: str):
+    return [line.split()[-1] for line in err.splitlines()
+            if line.startswith("run registered as ")]
+
+
+def test_cli_registers_by_default_into_runs_dir(tmp_path, capsys):
+    runs = tmp_path / "runs"
+    assert cli_main(CONV + ["--registry-dir", str(runs)]) == 0
+    (run_id,) = _registered_ids(capsys.readouterr().err)
+    with RunRegistry(runs) as registry:
+        record = registry.get(run_id)
+    assert record.workload == "conv:3x3x4x4g1n1x6x6s1"
+    assert record.source == "cli:conv"
+    assert record.wall_clock_s is not None and record.wall_clock_s > 0
+
+
+def test_cli_no_registry_opts_out(tmp_path, capsys):
+    runs = tmp_path / "runs"
+    assert cli_main(CONV + ["--registry-dir", str(runs),
+                            "--no-registry"]) == 0
+    assert not _registered_ids(capsys.readouterr().err)
+    assert not runs.exists()
+
+
+def test_env_switch_disables_cli_recording(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("STONNE_REGISTRY", "0")
+    runs = tmp_path / "runs"
+    assert cli_main(CONV + ["--registry-dir", str(runs)]) == 0
+    assert not runs.exists()
+
+
+def test_identical_runs_diff_clean_perturbed_run_fails(tmp_path, capsys):
+    """The acceptance scenario: zero delta on a repeat, non-zero exit on
+    a perturbed workload."""
+    runs = tmp_path / "runs"
+    assert cli_main(CONV + ["--registry-dir", str(runs)]) == 0
+    (first,) = _registered_ids(capsys.readouterr().err)
+    assert cli_main(CONV + ["--registry-dir", str(runs)]) == 0
+    (second,) = _registered_ids(capsys.readouterr().err)
+    assert insight_main(
+        ["--registry-dir", str(runs), "diff", first, second]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "(+0.000%)" in out and "ok" in out
+
+    # different input width => different cycles for the "same" pipeline
+    perturbed = list(CONV)
+    perturbed[perturbed.index("-X") + 1] = "8"
+    assert cli_main(perturbed + ["--registry-dir", str(runs)]) == 0
+    (third,) = _registered_ids(capsys.readouterr().err)
+    assert insight_main(
+        ["--registry-dir", str(runs), "diff", first, third]
+    ) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_check_baseline_end_to_end(tmp_path, capsys):
+    runs = tmp_path / "runs"
+    baseline = tmp_path / "baseline.json"
+    assert cli_main(CONV + ["--registry-dir", str(runs)]) == 0
+    capsys.readouterr()
+    assert insight_main([
+        "--registry-dir", str(runs), "export-baseline", "latest",
+        "--out", str(baseline),
+    ]) == 0
+    assert cli_main(CONV + ["--registry-dir", str(runs)]) == 0
+    capsys.readouterr()
+    assert insight_main([
+        "--registry-dir", str(runs), "check", "--baseline", str(baseline),
+    ]) == 0
+
+
+def test_stonne_insight_subcommand_forwards(tmp_path, capsys):
+    runs = tmp_path / "runs"
+    assert cli_main(CONV + ["--registry-dir", str(runs)]) == 0
+    capsys.readouterr()
+    assert cli_main(["insight", "--registry-dir", str(runs), "list"]) == 0
+    assert "conv:3x3x4x4" in capsys.readouterr().out
+
+
+def test_experiment_runs_register(tmp_path, capsys):
+    runs = tmp_path / "runs"
+    assert cli_main(["experiment", "fig1a", "--registry-dir",
+                     str(runs)]) == 0
+    (run_id,) = _registered_ids(capsys.readouterr().err)
+    with RunRegistry(runs) as registry:
+        record = registry.get(run_id)
+    assert record.workload == "experiment:fig1a"
+    assert record.source == "cli:experiment"
+    assert record.payload["rows"]
+
+
+def test_model_cached_rerun_registers_as_cached(tmp_path, capsys):
+    runs = tmp_path / "runs"
+    cache = tmp_path / "simcache"
+    cmd = ["model", "squeezenet", "--arch", "tpu", "--num-ms", "16",
+           "--cache", str(cache), "--registry-dir", str(runs)]
+    assert cli_main(cmd) == 0
+    (cold_id,) = _registered_ids(capsys.readouterr().err)
+    assert cli_main(cmd) == 0
+    (warm_id,) = _registered_ids(capsys.readouterr().err)
+    with RunRegistry(runs) as registry:
+        cold = registry.get(cold_id)
+        warm = registry.get(warm_id)
+    assert cold.cached is False
+    assert warm.cached is True
+    # cached runs still register real simulated cycles
+    assert warm.total_cycles == cold.total_cycles
+
+
+def test_registration_does_not_change_simulated_results(rng, tmp_path):
+    """Registering is an observer: layer payloads are byte-identical to
+    an unregistered run's."""
+    a = rng.standard_normal((8, 16)).astype(np.float32)
+    b = rng.standard_normal((16, 4)).astype(np.float32)
+
+    plain = Accelerator(maeri_like(32, 8))
+    plain.run_gemm(a, b, name="obs-gemm")
+
+    observed = Accelerator(maeri_like(32, 8))
+    observed.run_gemm(a, b, name="obs-gemm")
+    with RunRegistry(tmp_path) as registry:
+        registry.record_report(observed.report, workload="gemm:obs")
+
+    baseline = json.dumps([l.to_payload() for l in plain.report.layers],
+                          sort_keys=True)
+    registered = json.dumps([l.to_payload() for l in observed.report.layers],
+                            sort_keys=True)
+    assert baseline == registered

@@ -6,6 +6,7 @@ import pytest
 
 from repro.noc.base import CounterSet
 from repro.observability.metrics import (
+    HEADLINE_COUNTERS,
     MetricsRecorder,
     MetricsSample,
     utilization_series,
@@ -129,8 +130,27 @@ def test_summary_keys():
     rec = MetricsRecorder(every=5)
     rec.observe(10, {"x": 1.0})
     assert rec.summary() == {
-        "metrics_every": 5.0, "metrics_samples": 2.0, "metrics_dropped": 0.0,
+        "every": 5.0, "samples": 2.0, "dropped": 0.0, "x": 1.0,
     }
+
+
+def test_summary_reports_last_cumulative_values():
+    rec = MetricsRecorder(every=10)
+    rec.observe(20, {"gb_reads": 40.0, "gb_writes": 8.0})
+    summary = rec.summary()
+    assert summary["samples"] == 2.0
+    assert summary["gb_reads"] == 40.0
+    assert summary["gb_writes"] == 8.0
+
+
+def test_summary_empty_ring_zeroes_headline_columns():
+    rec = MetricsRecorder(every=64)
+    summary = rec.summary()
+    assert summary["samples"] == 0.0
+    for column in HEADLINE_COUNTERS:
+        assert summary[column] == 0.0
+    # explicit column lists are honored even when nothing was recorded
+    assert rec.summary(columns=["x"])["x"] == 0.0
 
 
 def test_utilization_series():

@@ -105,3 +105,59 @@ def test_layer_energy_priced_per_layer(rng):
     assert energy.total_uj > 0
     record = layer.as_dict(acc.config)
     assert record["energy_uj"]["total"] > 0
+
+
+def test_counter_file_round_trips_dotless_names():
+    """Counters named without a component prefix survive the round trip."""
+    from repro.engine.stats import LayerReport, SimulationReport
+    from repro.noc.base import CounterSet
+
+    counters = CounterSet()
+    counters.add("iterations", 7)          # no underscore: written bare
+    counters.add("gb_reads", 12)
+    counters.add("ctrl_tile_switches", 3)  # multi-underscore name
+    report = SimulationReport(maeri_like(32, 8))
+    report.append(LayerReport(
+        name="synthetic", kind="conv", cycles=10, macs=10, outputs=1,
+        multiplier_utilization=0.5, counters=counters,
+    ))
+    restored = parse_counter_file(report.to_counter_file())
+    assert restored.as_dict() == counters.as_dict()
+
+
+def test_parse_counter_file_accepts_unknown_names():
+    """Unknown component/event names parse verbatim (forward compat)."""
+    text = "# comment\nfrobnicator.spins = 5\nwidgets = 2\n"
+    counters = parse_counter_file(text)
+    assert counters.get("frobnicator_spins") == 5
+    assert counters.get("widgets") == 2
+
+
+def test_component_utilization_with_zero_cycle_layer(rng):
+    """A zero-cycle layer must not divide-by-zero or skew the figures."""
+    from repro.engine.stats import LayerReport
+    from repro.noc.base import CounterSet
+
+    acc = _run_accelerator(rng)
+    before = acc.report.component_utilization()
+    acc.report.append(LayerReport(
+        name="noop", kind="maxpool", cycles=0, macs=0, outputs=0,
+        multiplier_utilization=0.0, counters=CounterSet(),
+    ))
+    after = acc.report.component_utilization()
+    assert set(after) == set(before)
+    for key in after:
+        assert 0.0 <= after[key] <= 1.0
+
+
+def test_component_utilization_all_zero_cycles():
+    """A report whose only layers have zero cycles reports no usage."""
+    from repro.engine.stats import LayerReport, SimulationReport
+    from repro.noc.base import CounterSet
+
+    report = SimulationReport(maeri_like(32, 8))
+    report.append(LayerReport(
+        name="noop", kind="maxpool", cycles=0, macs=0, outputs=0,
+        multiplier_utilization=0.0, counters=CounterSet(),
+    ))
+    assert report.component_utilization() == {}

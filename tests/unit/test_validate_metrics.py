@@ -1,0 +1,92 @@
+"""Metrics-export schema validation and the validate CLI's kind detection."""
+
+import json
+
+import pytest
+
+from repro.observability.metrics import MetricsRecorder
+from repro.observability.validate import main as validate_main
+from repro.observability.validate import validate_metrics_json
+
+
+def _export(tmp_path):
+    rec = MetricsRecorder(every=8)
+    rec.observe(24, {"gb_reads": 48.0, "mn_multiplications": 96.0})
+    path = tmp_path / "metrics.json"
+    rec.to_json(path)
+    return path
+
+
+def test_real_export_validates(tmp_path):
+    payload = json.loads(_export(tmp_path).read_text(encoding="utf-8"))
+    stats = validate_metrics_json(payload)
+    assert stats["samples"] == 3
+    assert stats["every"] == 8
+    assert "gb_reads" in stats["columns"]
+
+
+def test_empty_samples_list_is_valid():
+    stats = validate_metrics_json(
+        {"every": 64, "capacity": 16, "dropped": 0, "samples": []}
+    )
+    assert stats["samples"] == 0
+    assert stats["columns"] == []
+
+
+def test_off_grid_cycles_are_accepted():
+    # parallel merges rebase worker samples by layer-start offsets, so
+    # sample cycles need not be multiples of 'every'
+    validate_metrics_json({
+        "every": 64, "capacity": 16, "dropped": 0,
+        "samples": [
+            {"cycle": 64, "values": {"x": 1.0}},
+            {"cycle": 137, "values": {"x": 2.0}},
+        ],
+    })
+
+
+@pytest.mark.parametrize("payload, message", [
+    (["not", "an", "object"], "JSON object"),
+    ({"every": 64, "capacity": 16, "dropped": 0}, "'samples' list"),
+    ({"every": 0, "capacity": 16, "dropped": 0, "samples": []}, "'every'"),
+    ({"every": 8, "capacity": 0, "dropped": 0, "samples": []}, "'capacity'"),
+    ({"every": 8, "capacity": 16, "dropped": -1, "samples": []}, "'dropped'"),
+    ({"every": 8, "capacity": 16, "dropped": 0,
+      "samples": [{"cycle": -1, "values": {}}]}, "cycle"),
+    ({"every": 8, "capacity": 16, "dropped": 0,
+      "samples": [{"cycle": 16, "values": {}},
+                  {"cycle": 8, "values": {}}]}, "backwards"),
+    ({"every": 8, "capacity": 16, "dropped": 0,
+      "samples": [{"cycle": 8, "values": {"x": "nan"}}]}, "numbers"),
+    ({"every": 8, "capacity": 16, "dropped": 0,
+      "samples": [{"cycle": 8, "values": {"x": True}}]}, "numbers"),
+], ids=["not-object", "no-samples", "bad-every", "bad-capacity",
+        "bad-dropped", "negative-cycle", "backwards-cycle",
+        "non-numeric-value", "bool-value"])
+def test_violations_raise(payload, message):
+    with pytest.raises(ValueError, match=message):
+        validate_metrics_json(payload)
+
+
+def test_cli_autodetects_metrics_kind(tmp_path, capsys):
+    path = _export(tmp_path)
+    assert validate_main([str(path), "--expect", "gb_reads"]) == 0
+    assert "valid metrics export" in capsys.readouterr().out
+
+
+def test_cli_missing_expected_column_fails(tmp_path, capsys):
+    path = _export(tmp_path)
+    assert validate_main([str(path), "--expect", "no_such_counter"]) == 1
+    assert "no_such_counter" in capsys.readouterr().err
+
+
+def test_cli_forced_kind_mismatch_fails(tmp_path, capsys):
+    path = _export(tmp_path)
+    assert validate_main([str(path), "--kind", "trace"]) == 1
+
+
+def test_cli_undetectable_kind_fails(tmp_path, capsys):
+    path = tmp_path / "mystery.json"
+    path.write_text("{}", encoding="utf-8")
+    assert validate_main([str(path)]) == 1
+    assert "--kind" in capsys.readouterr().err
