@@ -1,13 +1,23 @@
 # Convenience targets for the STONNE reproduction.
 
 .PHONY: install test bench report examples validate trace-smoke \
-	sentinel-smoke differential bench-parallel all clean
+	sentinel-smoke differential bench-parallel lint typecheck all clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# the in-repo static-analysis passes (see docs/STATIC_ANALYSIS.md)
+lint:
+	PYTHONPATH=src python -m repro.analysis.lint src/repro
+
+# strict typing of the core packages; skips gracefully when mypy is absent
+typecheck:
+	@PYTHONPATH=src python -c "import mypy" 2>/dev/null \
+		&& PYTHONPATH=src python -m mypy \
+		|| echo "mypy not installed; skipping typecheck (CI runs it)"
 
 bench:
 	pytest benchmarks/ --benchmark-only

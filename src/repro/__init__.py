@@ -23,7 +23,8 @@ Quickstart::
     import numpy as np
 
     acc = Accelerator(maeri_like(num_ms=64, bandwidth=16))
-    out = acc.run_gemm(np.random.rand(8, 32), np.random.rand(32, 8))
+    rng = np.random.default_rng(42)
+    out = acc.run_gemm(rng.random((8, 32)), rng.random((32, 8)))
     print(acc.report.total_cycles)
 """
 

@@ -1,0 +1,61 @@
+"""``stonne lint``: static-analysis passes enforcing simulator invariants.
+
+The guarantees the simulator advertises — serial == parallel == cached
+byte-identical results, content-addressed cache keys, counters the
+insight layer can trust — hold only while every source file keeps a set
+of easy-to-break invariants. This package checks them at rest, on the
+AST, so a violation fails ``make lint`` instead of silently corrupting
+results months later:
+
+- :mod:`repro.analysis.determinism` (``DET-*``) — no unseeded RNG, no
+  wall-clock reads from cycle-level code, no iteration-order
+  nondeterminism in cycle loops or key construction;
+- :mod:`repro.analysis.cachekey` (``CACHE-KEY-*``) — every config
+  dataclass field is either covered by the :class:`SimCache` canonical
+  key or explicitly exempted in the in-code manifest;
+- :mod:`repro.analysis.parsafe` (``PAR-*``) — nothing reachable from the
+  parallel worker entry points writes module-level state or opens the
+  run registry;
+- :mod:`repro.analysis.exceptions` (``EXC-*``) — no bare/overbroad
+  handlers, simulator errors derive from :mod:`repro.errors`;
+- :mod:`repro.analysis.counters` (``COUNTER-*``) — every activity
+  counter incremented or read anywhere is declared in
+  ``repro.engine.stats.KNOWN_COUNTERS``.
+
+Run with ``stonne lint`` or ``python -m repro.analysis.lint``; suppress
+an individual finding with ``# stonne: lint-ok[<RULE-ID>] reason`` (the
+reason is mandatory). See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    LintPass,
+    Project,
+    Rule,
+    SourceFile,
+    all_passes,
+    all_rules,
+    register_pass,
+)
+__all__ = [
+    "Finding",
+    "LintPass",
+    "LintResult",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_passes",
+    "all_rules",
+    "register_pass",
+    "run_lint",
+]
+
+
+def __getattr__(name):
+    # lazy so `python -m repro.analysis.lint` does not import the driver
+    # twice (once as repro.analysis.lint, once via this package)
+    if name in ("LintResult", "run_lint"):
+        from repro.analysis import lint
+
+        return getattr(lint, name)
+    raise AttributeError(name)

@@ -1,0 +1,117 @@
+"""EXC: exception-handling discipline.
+
+A simulator whose value is *trustworthy numbers* must never swallow its
+own inconsistencies. Bare and overbroad handlers convert
+:class:`~repro.errors.SimulationError` — "a component model is wrong" —
+into silently-continuing runs, and generic ``raise Exception`` robs
+callers of the one catchable base class (:class:`StonneError`) the
+library promises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Finding, Project, Rule, register_pass
+
+#: exception classes too generic to raise from library code
+_GENERIC_RAISES = frozenset({"Exception", "BaseException", "RuntimeError"})
+
+#: handler types that catch everything
+_BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+RULES = (
+    Rule(
+        id="EXC-BARE",
+        summary="bare 'except:' clause",
+        rationale=(
+            "catches SystemExit/KeyboardInterrupt and every simulator "
+            "inconsistency alike; name the exceptions the code can "
+            "actually handle"
+        ),
+    ),
+    Rule(
+        id="EXC-BROAD",
+        summary="overbroad 'except Exception' handler",
+        rationale=(
+            "swallows SimulationError and friends, letting a buggy "
+            "component model keep producing numbers; catch the typed "
+            "repro.errors classes, or suppress with a reason where "
+            "best-effort really is intended"
+        ),
+    ),
+    Rule(
+        id="EXC-TYPE",
+        summary="raises a generic exception instead of a repro.errors type",
+        rationale=(
+            "callers are promised one catchable base class (StonneError); "
+            "raise ConfigurationError / MappingError / SimulationError / "
+            "ApiError so errors stay typed"
+        ),
+    ),
+)
+
+
+def _handler_names(handler_type: ast.expr) -> List[str]:
+    if isinstance(handler_type, ast.Tuple):
+        nodes = handler_type.elts
+    else:
+        nodes = [handler_type]
+    names = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+@register_pass(
+    "EXC",
+    "no bare/overbroad handlers; simulator errors derive from repro.errors",
+    RULES,
+)
+def run(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for file in project.files:
+        if file.tree is None:
+            continue
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    findings.append(Finding(
+                        rule="EXC-BARE", path=file.relpath, line=node.lineno,
+                        message="bare 'except:' catches everything, "
+                                "including KeyboardInterrupt",
+                    ))
+                    continue
+                broad = [
+                    name for name in _handler_names(node.type)
+                    if name in _BROAD_HANDLERS
+                ]
+                if broad:
+                    findings.append(Finding(
+                        rule="EXC-BROAD", path=file.relpath, line=node.lineno,
+                        message=(
+                            f"'except {', '.join(broad)}' swallows typed "
+                            "simulator errors; catch repro.errors classes"
+                        ),
+                    ))
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                target = exc.func if isinstance(exc, ast.Call) else exc
+                name = (
+                    target.id if isinstance(target, ast.Name)
+                    else target.attr if isinstance(target, ast.Attribute)
+                    else None
+                )
+                if name in _GENERIC_RAISES:
+                    findings.append(Finding(
+                        rule="EXC-TYPE", path=file.relpath, line=node.lineno,
+                        message=(
+                            f"raises {name}; use a repro.errors class so "
+                            "callers can catch StonneError"
+                        ),
+                    ))
+    return findings

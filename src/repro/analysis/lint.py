@@ -1,0 +1,237 @@
+"""The ``stonne lint`` driver.
+
+Runs every registered pass over a file set, applies the inline
+suppressions, and reports in text or JSON. Exit status: 0 when clean,
+1 when findings remain, 2 on usage errors — so ``make lint`` and the CI
+``static-analysis`` job gate directly on the command.
+
+Usage::
+
+    stonne lint [paths...] [--format text|json] [--select RULE,...]
+    python -m repro.analysis.lint src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    all_passes,
+    all_rules,
+)
+
+#: bump when the JSON report layout changes
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    files: int
+    passes: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> Dict[str, object]:
+        by_rule: Dict[str, int] = {}
+        for finding in self.findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "tool": "stonne-lint",
+            "passes": list(self.passes),
+            "files": self.files,
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "summary": {
+                "total": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "by_rule": dict(sorted(by_rule.items())),
+            },
+        }
+
+
+def _driver_findings(project: Project, known_rules) -> List[Finding]:
+    """Syntax errors plus suppression hygiene (reason required)."""
+    findings: List[Finding] = []
+    for file in project.files:
+        if file.syntax_error is not None:
+            findings.append(Finding(
+                rule="LINT-SYNTAX", path=file.relpath, line=1,
+                message=f"cannot parse: {file.syntax_error}",
+            ))
+        for suppression in file.suppressions:
+            if not suppression.reason:
+                findings.append(Finding(
+                    rule="LINT-REASON", path=file.relpath,
+                    line=suppression.comment_line,
+                    message=(
+                        f"lint-ok[{suppression.rule}] has no reason; write "
+                        "# stonne: lint-ok[<RULE-ID>] why this is fine"
+                    ),
+                ))
+            known = suppression.rule in known_rules or any(
+                rule_id.startswith(suppression.rule + "-")
+                for rule_id in known_rules
+            )
+            if not known:
+                findings.append(Finding(
+                    rule="LINT-UNKNOWN", path=file.relpath,
+                    line=suppression.comment_line,
+                    message=(
+                        f"lint-ok[{suppression.rule}] names no known rule "
+                        "or rule family"
+                    ),
+                ))
+    return findings
+
+
+def run_lint(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run all (or the selected) passes over ``paths``."""
+    project = Project.from_paths([Path(p) for p in paths])
+    passes = all_passes()
+    known_rules = all_rules()
+    if select:
+        wanted = set(select)
+        passes = {
+            name: p for name, p in passes.items()
+            if name in wanted or any(r.id in wanted for r in p.rules)
+        }
+
+    raw: List[Finding] = _driver_findings(project, known_rules)
+    for lint_pass in passes.values():
+        raw.extend(lint_pass.run(project))
+    if select:
+        wanted = set(select)
+        # a selection matches a finding through its exact rule id, a
+        # family prefix (EXC covers EXC-BROAD), or the emitting pass name
+        selected_rules = {
+            rule.id for p in passes.values() if p.name in wanted
+            for rule in p.rules
+        }
+        raw = [
+            f for f in raw
+            if f.rule in wanted
+            or f.rule in selected_rules
+            or any(f.rule.startswith(token + "-") for token in wanted)
+            or f.rule.startswith("LINT-")
+        ]
+
+    by_path = {file.relpath: file for file in project.files}
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
+        file = by_path.get(finding.path)
+        is_suppressed = False
+        if file is not None and not finding.rule.startswith("LINT-"):
+            for suppression in file.suppressions_for(finding.line):
+                if suppression.matches(finding.rule) and suppression.reason:
+                    is_suppressed = True
+                    break
+        (suppressed if is_suppressed else findings).append(finding)
+    return LintResult(
+        findings=findings,
+        suppressed=suppressed,
+        files=len(project.files),
+        passes=sorted(passes),
+    )
+
+
+def _print_text(result: LintResult, stream) -> None:
+    for finding in result.findings:
+        print(
+            f"{finding.location()}: {finding.rule} {finding.message}",
+            file=stream,
+        )
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files} file(s), "
+        f"{len(result.suppressed)} suppressed "
+        f"[passes: {', '.join(result.passes)}]"
+    )
+    print(("FAIL: " if result.findings else "OK: ") + summary, file=stream)
+
+
+def _print_rules(stream) -> None:
+    for rule_id, rule in sorted(all_rules().items()):
+        print(f"{rule_id:20s} {rule.summary}", file=stream)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stonne lint",
+        description="static-analysis passes enforcing simulator invariants",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: the repro package "
+             "containing this tool)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json includes a machine-readable summary)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids / families / pass names to run "
+             "(e.g. DET,EXC-BARE)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the report to PATH",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _default_paths() -> List[Path]:
+    """Lint the installed ``repro`` package when no path is given."""
+    return [Path(__file__).resolve().parent.parent]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rules(sys.stdout)
+        return 0
+    paths = [Path(p) for p in args.paths] if args.paths else _default_paths()
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    select = (
+        [token.strip() for token in args.select.split(",") if token.strip()]
+        if args.select else None
+    )
+    result = run_lint(paths, select=select)
+    if args.format == "json":
+        text = json.dumps(result.as_dict(), indent=2)
+        print(text)
+    else:
+        _print_text(result, sys.stdout)
+        text = json.dumps(result.as_dict(), indent=2)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,45 @@ from repro.engine.energy import EnergyBreakdown, EnergyTable, energy_report
 from repro.noc.base import CounterSet
 from repro.observability.provenance import run_metadata
 
+#: The declared universe of activity counters. CounterSet creates
+#: counters lazily (components need no pre-declaration), so this
+#: registry is the safety net: the COUNTER lint pass rejects any literal
+#: increment or read of a name missing here, which is how a typo'd
+#: counter fails `make lint` instead of silently pricing at zero energy
+#: or feeding the bottleneck-attribution layer a phantom.
+KNOWN_COUNTERS: Dict[str, str] = {
+    "ctrl_cycles": "cycles the memory controller was driving the fabric",
+    "ctrl_fifo_pops": "sparse-controller FIFO pop operations",
+    "ctrl_fifo_pushes": "sparse-controller FIFO push operations",
+    "ctrl_gemms_run": "GEMM operations issued by the sparse controller",
+    "ctrl_layers_run": "layers issued by the dense controller",
+    "ctrl_metadata_elements": "compression metadata elements streamed",
+    "ctrl_psum_spills": "partial sums spilled across sparse rounds",
+    "ctrl_stationary_loads": "stationary-operand elements loaded",
+    "dn_busy_cycles": "cycles the distribution network moved data",
+    "dn_elements_sent": "distinct elements injected into the DN",
+    "dn_switch_traversals": "DN switch hops taken by all elements",
+    "dn_wire_traversals": "DN wire segments traversed by all elements",
+    "dram_bytes_read": "bytes read from off-chip DRAM",
+    "dram_bytes_written": "bytes written to off-chip DRAM",
+    "dram_row_hits": "DRAM accesses hitting the open row buffer",
+    "dram_row_misses": "DRAM accesses opening a new row",
+    "gb_fills": "Global Buffer elements filled from DRAM",
+    "gb_pool_comparisons": "comparator operations for maxpool layers",
+    "gb_reads": "elements read from the Global Buffer",
+    "gb_writes": "elements written to the Global Buffer",
+    "mn_forwarding_hops": "operand hops over MN forwarding links",
+    "mn_multiplications": "multiplications executed by the MS array",
+    "mn_psum_injections": "partial sums re-injected when folding",
+    "mn_reconfigurations": "multiplier-network reconfiguration events",
+    "rn_accumulator_ops": "accumulation-buffer add operations",
+    "rn_adder_ops": "2:1 adder-switch operations (FAN / RT / LRN)",
+    "rn_adder_ops_3to1": "3:1 adder-switch operations (ART)",
+    "rn_outputs_written": "reduced outputs leaving the RN",
+    "rn_reconfigurations": "reduction-network reconfiguration events",
+    "rn_wire_traversals": "RN wire segments traversed by all psums",
+}
+
 
 @dataclass(frozen=True)
 class LayerReport:

@@ -147,7 +147,7 @@ class ReductionTree(ReductionNetwork):
 
     def _validate_clusters(self, sizes: tuple) -> None:
         super()._validate_clusters(sizes)
-        for size in set(sizes):
+        for size in sorted(set(sizes)):
             if not _is_power_of_two(size):
                 raise MappingError(
                     f"a plain reduction tree needs power-of-two clusters, got {size}"

@@ -217,6 +217,7 @@ class ParallelModelRunner:
                     _simulate_workload_in_worker,
                     self.config, workload, trace, every,
                 )
+            # stonne: lint-ok[EXC-BROAD] submit fails with arbitrary types (pickling, pool state); the serial fallback below retypes real errors
             except Exception:
                 futures[workload.index] = None  # unpicklable / broken pool
         for workload in misses:
@@ -225,6 +226,7 @@ class ParallelModelRunner:
             if future is not None:
                 try:
                     bundle = future.result()
+                # stonne: lint-ok[EXC-BROAD] a dead pool raises arbitrary types; the serial fallback below reproduces genuine simulation errors typed
                 except Exception:
                     bundle = None
             if bundle is None:

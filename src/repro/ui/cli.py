@@ -442,6 +442,14 @@ def build_parser() -> argparse.ArgumentParser:
     insight.add_argument("insight_args", nargs=argparse.REMAINDER)
     insight.set_defaults(func=_cmd_insight)
 
+    lint = sub.add_parser(
+        "lint",
+        help="static-analysis passes enforcing simulator invariants",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    lint.set_defaults(func=_cmd_lint)
+
     mkconfig = sub.add_parser("mkconfig", help="write a preset hardware .cfg file")
     mkconfig.add_argument("path")
     _add_hw_args(mkconfig)
@@ -589,6 +597,16 @@ def _cmd_insight(args: argparse.Namespace) -> int:
     return insight_main(forwarded)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Forward ``stonne lint ...`` to the analysis driver's own CLI."""
+    from repro.analysis.lint import main as lint_main
+
+    forwarded = list(args.lint_args)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return lint_main(forwarded)
+
+
 def _cmd_interactive(args: argparse.Namespace) -> int:
     from repro.ui.interactive import run_interactive
 
@@ -604,6 +622,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.observability.insight import main as insight_main
 
         return insight_main(list(argv[1:]))
+    if argv and argv[0] == "lint":
+        from repro.analysis.lint import main as lint_main
+
+        return lint_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,10 @@
+"""Fixture: config dataclass with one field missing from the manifest."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    num_ms: int = 8
+    clock_ghz: float = 1.0
+    uncovered_knob: int = 0

@@ -1,0 +1,14 @@
+"""Fixture: manifest with a stale entry and an empty reason."""
+
+KEY_COVERED_FIELDS = {
+    "HardwareConfig": {
+        "num_ms": "via config_hash",
+        "ghost_field": "covers a field that no longer exists",
+    },
+}
+
+KEY_EXEMPT_FIELDS = {
+    "HardwareConfig": {
+        "clock_ghz": "",
+    },
+}

@@ -1,0 +1,16 @@
+"""Fixture: a file every pass accepts."""
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def draw(seed, shape):
+    rng = np.random.default_rng(seed)
+    return rng.random(shape)
+
+
+def check(value):
+    if value < 0:
+        raise SimulationError("negative value")
+    return value

@@ -1,0 +1,6 @@
+"""Fixture: counter registry with one dead entry."""
+
+KNOWN_COUNTERS = {
+    "gb_reads": "elements read from the buffer",
+    "never_used": "declared but never incremented or read",
+}

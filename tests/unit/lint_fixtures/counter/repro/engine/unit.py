@@ -1,0 +1,13 @@
+"""Fixture: counter increments and reads, declared and not."""
+
+
+class Unit:
+    def __init__(self, counters):
+        self.counters = counters
+
+    def tick(self):
+        self.counters.add("gb_reads", 1)
+        self.counters.add("gb_wrties", 1)
+
+    def busy(self):
+        return self.counters.get("dn_busy")

@@ -1,0 +1,11 @@
+"""Fixture: cycle-level module with determinism violations."""
+
+import time
+
+
+def step(events):
+    started = time.time()
+    seen = []
+    for name in events.keys():
+        seen.append(name)
+    return started, seen

@@ -1,0 +1,7 @@
+"""Fixture: observability code may read wall clocks (whitelisted)."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,12 @@
+"""Fixture: legacy global-state RNG use.
+
+Example::
+
+    x = np.random.rand(4, 4)
+"""
+
+import numpy as np
+
+
+def make(shape):
+    return np.random.rand(*shape)

@@ -1,0 +1,27 @@
+"""Fixture: exception-discipline violations plus one suppressed case."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:
+        return None
+
+
+def swallow_broadly(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def fail():
+    raise RuntimeError("boom")
+
+
+def tolerated(fn):
+    try:
+        return fn()
+    # stonne: lint-ok[EXC] fixture: demonstrates an annotated suppression
+    except Exception:
+        return None

@@ -1,0 +1,9 @@
+"""Fixture: registry class opening SQLite in its constructor."""
+
+import sqlite3
+
+
+class RunRegistry:
+    def __init__(self, root):
+        self.path = str(root)
+        self.conn = sqlite3.connect(self.path)

@@ -1,0 +1,27 @@
+"""Fixture: worker entry point reaching unsafe code."""
+
+from repro.observability.registry import RunRegistry
+
+WORKER_ENTRY_POINTS = ("worker",)
+
+_RESULTS = {}
+
+
+def worker(item):
+    _record(item)
+    return _registry_lookup(item)
+
+
+def _record(item):
+    _RESULTS[item] = True
+
+
+def _registry_lookup(item):
+    registry = RunRegistry("runs")
+    return registry.path
+
+
+def parent_only(item):
+    # not reachable from the worker entry: must not be flagged
+    _RESULTS.clear()
+    return item

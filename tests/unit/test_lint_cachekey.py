@@ -1,0 +1,78 @@
+"""CACHE-KEY pass: manifest-vs-dataclass coverage of the SimCache key."""
+
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: everything the pass needs from the real tree: the manifest-carrying
+#: cache module plus the config dataclasses it audits
+REAL_FILES = (
+    "config/hardware.py",
+    "config/tile.py",
+    "config/layer.py",
+    "parallel/cache.py",
+)
+
+
+def test_cachekey_fixture_findings():
+    result = run_lint([FIXTURES / "cachekey"], select=["CACHE-KEY"])
+    by_rule = {}
+    for finding in result.findings:
+        by_rule.setdefault(finding.rule, []).append(finding)
+
+    (uncovered,) = by_rule["CACHE-KEY-FIELD"]
+    assert uncovered.path.endswith("repro/config/hardware.py")
+    assert "uncovered_knob" in uncovered.message
+    (stale,) = by_rule["CACHE-KEY-STALE"]
+    assert "ghost_field" in stale.message
+    (reasonless,) = by_rule["CACHE-KEY-REASON"]
+    assert "clock_ghz" in reasonless.message
+    assert set(by_rule) == {
+        "CACHE-KEY-FIELD", "CACHE-KEY-STALE", "CACHE-KEY-REASON",
+    }
+
+
+def test_missing_manifest_is_a_finding(tmp_path):
+    cache = tmp_path / "repro" / "parallel" / "cache.py"
+    cache.parent.mkdir(parents=True)
+    cache.write_text("CACHE_SCHEMA_VERSION = 1\n", encoding="utf-8")
+    result = run_lint([tmp_path], select=["CACHE-KEY"])
+    assert [f.rule for f in result.findings] == ["CACHE-KEY-MISSING"]
+
+
+def _copy_real_tree(tmp_path: Path) -> Path:
+    for rel in REAL_FILES:
+        dest = tmp_path / "repro" / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text((SRC / rel).read_text(encoding="utf-8"),
+                        encoding="utf-8")
+    return tmp_path / "repro" / "config" / "hardware.py"
+
+
+def test_real_manifest_covers_every_field(tmp_path):
+    _copy_real_tree(tmp_path)
+    result = run_lint([tmp_path], select=["CACHE-KEY"])
+    assert result.findings == []
+
+
+def test_new_hardware_field_must_be_accounted_for(tmp_path):
+    """The acceptance check: a field added to HardwareConfig without a
+    manifest decision is reported as uncovered."""
+    hardware = _copy_real_tree(tmp_path)
+    text = hardware.read_text(encoding="utf-8")
+    anchor = 'name: str = "custom"'
+    assert anchor in text
+    hardware.write_text(
+        text.replace(anchor, anchor + "\n    synthetic_knob: int = 0"),
+        encoding="utf-8",
+    )
+    result = run_lint([tmp_path], select=["CACHE-KEY"])
+    hits = [
+        f for f in result.findings
+        if f.rule == "CACHE-KEY-FIELD" and "synthetic_knob" in f.message
+    ]
+    assert len(hits) == 1
+    assert hits[0].path.endswith("repro/config/hardware.py")

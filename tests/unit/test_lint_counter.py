@@ -1,0 +1,38 @@
+"""COUNTER pass: declared-counter discipline."""
+
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def test_counter_fixture_findings():
+    result = run_lint([FIXTURES / "counter"], select=["COUNTER"])
+    by_rule = {}
+    for finding in result.findings:
+        by_rule.setdefault(finding.rule, []).append(finding)
+
+    (undeclared,) = by_rule["COUNTER-UNDECLARED"]
+    assert "gb_wrties" in undeclared.message
+    (read,) = by_rule["COUNTER-READ"]
+    assert "dn_busy" in read.message
+    (dead,) = by_rule["COUNTER-DEAD"]
+    assert "never_used" in dead.message
+    assert dead.path.endswith("repro/engine/stats.py")
+    assert set(by_rule) == {
+        "COUNTER-UNDECLARED", "COUNTER-READ", "COUNTER-DEAD",
+    }
+
+
+def test_missing_registry_is_a_finding(tmp_path):
+    stats = tmp_path / "repro" / "engine" / "stats.py"
+    stats.parent.mkdir(parents=True)
+    stats.write_text("TOTALS = {}\n", encoding="utf-8")
+    result = run_lint([tmp_path], select=["COUNTER"])
+    assert [f.rule for f in result.findings] == ["COUNTER-MISSING"]
+
+
+def test_tree_without_stats_module_has_nothing_to_check():
+    result = run_lint([FIXTURES / "clean"], select=["COUNTER"])
+    assert result.findings == []

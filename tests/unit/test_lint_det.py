@@ -1,0 +1,62 @@
+"""DET pass: RNG, wall-clock, iteration-order and doc-example rules."""
+
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def _findings(tree: str):
+    result = run_lint([FIXTURES / tree], select=["DET"])
+    return result.findings
+
+
+def test_det_fixture_findings():
+    findings = _findings("det")
+    by_rule = {}
+    for finding in findings:
+        by_rule.setdefault(finding.rule, []).append(finding)
+
+    (clock,) = by_rule["DET-CLOCK"]
+    assert clock.path.endswith("repro/engine/cycle.py")
+    (order,) = by_rule["DET-ORDER"]
+    assert order.path.endswith("repro/engine/cycle.py")
+    (rand,) = by_rule["DET-RAND"]
+    assert rand.path.endswith("repro/tensors.py")
+    (doc,) = by_rule["DET-DOC"]
+    assert doc.path.endswith("repro/tensors.py")
+    assert set(by_rule) == {"DET-CLOCK", "DET-ORDER", "DET-RAND", "DET-DOC"}
+
+
+def test_observability_is_clock_whitelisted():
+    findings = _findings("det")
+    assert not any("observability" in f.path for f in findings)
+
+
+def test_wall_clock_outside_cycle_level_is_fine(tmp_path):
+    mod = tmp_path / "repro" / "ui" / "widget.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text("import time\n\nNOW = time.time()\n", encoding="utf-8")
+    result = run_lint([tmp_path], select=["DET"])
+    assert result.findings == []
+
+
+def test_stdlib_random_and_from_imports_flagged(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import random\n"
+        "from numpy.random import rand\n"
+        "\n"
+        "def roll():\n"
+        "    return random.randint(1, 6)\n",
+        encoding="utf-8",
+    )
+    result = run_lint([tmp_path], select=["DET"])
+    rules = sorted(f.rule for f in result.findings)
+    assert rules == ["DET-RAND", "DET-RAND"]
+
+
+def test_seeded_generators_are_clean():
+    result = run_lint([FIXTURES / "clean"], select=["DET"])
+    assert result.findings == []

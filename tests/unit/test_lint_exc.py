@@ -1,0 +1,35 @@
+"""EXC pass: handler and raise discipline."""
+
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def test_exc_fixture_findings():
+    result = run_lint([FIXTURES / "exc"], select=["EXC"])
+    rules = sorted(f.rule for f in result.findings)
+    assert rules == ["EXC-BARE", "EXC-BROAD", "EXC-TYPE"]
+
+
+def test_family_suppression_is_recorded():
+    result = run_lint([FIXTURES / "exc"], select=["EXC"])
+    (suppressed,) = result.suppressed
+    assert suppressed.rule == "EXC-BROAD"
+
+
+def test_tuple_handlers_and_typed_raises(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "from repro.errors import SimulationError\n"
+        "\n"
+        "def check(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except (ValueError, Exception):\n"
+        "        raise SimulationError('broken')\n",
+        encoding="utf-8",
+    )
+    result = run_lint([tmp_path], select=["EXC"])
+    # the tuple hides an Exception catch-all; the typed raise is fine
+    assert [f.rule for f in result.findings] == ["EXC-BROAD"]

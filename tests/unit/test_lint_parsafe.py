@@ -1,0 +1,54 @@
+"""PAR-SAFE pass: call-graph reachability from the worker entry points."""
+
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def test_parsafe_fixture_findings():
+    result = run_lint([FIXTURES / "parsafe"], select=["PAR-SAFE"])
+    by_rule = {}
+    for finding in result.findings:
+        by_rule.setdefault(finding.rule, []).append(finding)
+
+    (global_write,) = by_rule["PAR-GLOBAL"]
+    assert global_write.path.endswith("repro/parallel/runner.py")
+    assert "_RESULTS" in global_write.message
+    assert "worker" in global_write.message  # witness chain
+
+    registry_hits = by_rule["PAR-REGISTRY"]
+    messages = " | ".join(f.message for f in registry_hits)
+    assert "instantiates the run registry" in messages
+    assert "opens SQLite directly" in messages
+
+
+def test_unreachable_code_is_not_flagged():
+    result = run_lint([FIXTURES / "parsafe"], select=["PAR-SAFE"])
+    # parent_only() mutates _RESULTS but is never called from a worker
+    assert not any("parent_only" in f.message for f in result.findings)
+    assert not any(f.line == 25 for f in result.findings)
+
+
+def test_tree_without_runner_has_nothing_to_check():
+    result = run_lint([FIXTURES / "clean"], select=["PAR-SAFE"])
+    assert result.findings == []
+
+
+def test_global_statement_is_flagged(tmp_path):
+    runner = tmp_path / "repro" / "parallel" / "runner.py"
+    runner.parent.mkdir(parents=True)
+    runner.write_text(
+        'WORKER_ENTRY_POINTS = ("work",)\n'
+        "_MODE = None\n"
+        "\n"
+        "def work(item):\n"
+        "    global _MODE\n"
+        "    _MODE = item\n"
+        "    return item\n",
+        encoding="utf-8",
+    )
+    result = run_lint([tmp_path], select=["PAR-SAFE"])
+    assert [f.rule for f in result.findings] == ["PAR-GLOBAL"]
+    assert "_MODE" in result.findings[0].message

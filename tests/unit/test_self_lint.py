@@ -1,0 +1,43 @@
+"""The package must pass its own linter — the tentpole acceptance check."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import REPORT_SCHEMA_VERSION, run_lint
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_src_repro_lints_clean():
+    result = run_lint([SRC])
+    assert [
+        f"{f.location()}: {f.rule} {f.message}" for f in result.findings
+    ] == []
+    assert result.files > 50  # the whole package was actually scanned
+    assert set(result.passes) == {
+        "CACHE-KEY", "COUNTER", "DET", "EXC", "PAR-SAFE",
+    }
+
+
+def test_known_suppressions_carry_reasons():
+    result = run_lint([SRC])
+    # the worker-fallback handlers in parallel/runner.py are the only
+    # intentionally suppressed findings in the tree
+    assert [f.rule for f in result.suppressed] == ["EXC-BROAD", "EXC-BROAD"]
+    assert all(
+        f.path.endswith("repro/parallel/runner.py") for f in result.suppressed
+    )
+
+
+def test_report_schema():
+    result = run_lint([SRC])
+    report = result.as_dict()
+    assert report["schema"] == REPORT_SCHEMA_VERSION
+    assert report["tool"] == "stonne-lint"
+    assert set(report) == {
+        "schema", "tool", "passes", "files", "findings", "suppressed",
+        "summary",
+    }
+    assert report["summary"]["total"] == 0
+    assert report["summary"]["suppressed"] == 2
+    json.dumps(report)  # must be JSON-serializable as-is
