@@ -1,7 +1,8 @@
 # Convenience targets for the STONNE reproduction.
 
 .PHONY: install test bench report examples validate trace-smoke \
-	sentinel-smoke differential bench-parallel lint typecheck all clean
+	sentinel-smoke telemetry-smoke differential bench-parallel lint \
+	typecheck all clean
 
 install:
 	pip install -e .
@@ -65,6 +66,30 @@ sentinel-smoke:
 		--registry-dir /tmp/stonne-ci-runs \
 		report latest -o /tmp/stonne-insight-report.html
 	@echo "sentinel smoke OK"
+
+# short --telemetry --live model run piped through a non-TTY (so the
+# live renderer degrades to plain lines), then a sampled hotspot profile
+telemetry-smoke:
+	PYTHONPATH=src python -m repro.ui.cli model squeezenet --arch tpu \
+		--num-ms 16 --live --telemetry \
+		--telemetry-out /tmp/stonne-telemetry-smoke.prom \
+		--progress-jsonl /tmp/stonne-progress-smoke.jsonl \
+		--no-registry 2>&1 | cat
+	PYTHONPATH=src python -c "import pathlib; \
+		from repro.observability.telemetry import parse_prometheus; \
+		families = parse_prometheus(pathlib.Path( \
+			'/tmp/stonne-telemetry-smoke.prom').read_text()); \
+		assert 'stonne_stage_seconds' in families, sorted(families); \
+		assert 'stonne_pool_tasks_total' in families, sorted(families)"
+	PYTHONPATH=src python -c "import json, pathlib; \
+		events = [json.loads(l) for l in pathlib.Path( \
+			'/tmp/stonne-progress-smoke.jsonl').read_text().splitlines()]; \
+		assert events[0]['event'] == 'model_start'; \
+		assert events[-1]['event'] == 'model_end', events[-1]"
+	PYTHONPATH=src python -m repro.observability.insight hotspots \
+		--model squeezenet --arch tpu --num-ms 16 --repeat 2 \
+		--format json -o stonne-hotspots.json
+	@echo "telemetry smoke OK"
 
 examples:
 	@for script in examples/*.py; do \

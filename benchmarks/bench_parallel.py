@@ -14,6 +14,18 @@ Total cycles must be byte-identical across all three paths — the
 benchmark asserts it — and the headline number is the warm-over-serial
 speedup, recorded in ``BENCH_parallel.json`` at the repo root.
 
+Beyond the aggregate totals the record carries:
+
+- ``samples`` — per-(model, hardware) wall-clock seconds for every
+  sweep, so a regression in a single cell is visible instead of being
+  averaged away;
+- ``stage_seconds`` / ``telemetry_overhead_pct`` — the warm sweep
+  re-runs best-of-3 with host telemetry off and then on: the
+  record/simulate/merge wall-clock breakdown and telemetry's own cost
+  (asserted <5%, on best-of-3 so scheduler noise cancels);
+- ``hotspots`` — a sampled squeezenet/tpu16 profile whose top component
+  feeds ROADMAP item 1 (vectorize the cycle-level hot paths).
+
 Standalone (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py [--jobs N] [--out PATH]
@@ -58,34 +70,69 @@ def _model_run(name):
 
 def _serial_sweep(points):
     cycles = {}
+    samples = {}
     start = time.perf_counter()
     for model_name in MODELS:
         model, x = _model_run(model_name)
         for hw_name, config in points:
+            cell_start = time.perf_counter()
             acc = Accelerator(config)
             simulate(model, acc)
             model(x)
             detach_context(model)
             cycles[(model_name, hw_name)] = acc.report.total_cycles
-    return time.perf_counter() - start, cycles
+            samples[f"{model_name}/{hw_name}"] = round(
+                time.perf_counter() - cell_start, 4
+            )
+    return time.perf_counter() - start, cycles, samples
 
 
 def _parallel_sweep(points, jobs, cache_dir):
     cycles = {}
+    samples = {}
     stats = {"simulated": 0, "cache_hits": 0, "deduplicated": 0, "fallbacks": 0}
     cache = SimCache(cache_dir)
     start = time.perf_counter()
     for model_name in MODELS:
         model, x = _model_run(model_name)
         for hw_name, config in points:
+            cell_start = time.perf_counter()
             acc = Accelerator(config)
             result = simulate_parallel(model, acc, x, jobs=jobs, cache=cache)
             cycles[(model_name, hw_name)] = acc.report.total_cycles
+            samples[f"{model_name}/{hw_name}"] = round(
+                time.perf_counter() - cell_start, 4
+            )
             stats["simulated"] += result.simulated
             stats["cache_hits"] += result.cache_hits
             stats["deduplicated"] += result.deduplicated
             stats["fallbacks"] += result.fallbacks
-    return time.perf_counter() - start, cycles, stats
+    return time.perf_counter() - start, cycles, samples, stats
+
+
+def _profile_hotspots(repeat=5, interval_s=0.001):
+    """Sampled squeezenet/tpu16 profile: where host wall-clock goes."""
+    from repro.observability.telemetry import profile_call
+
+    model, x = _model_run("squeezenet")
+    config = tpu_like(num_pes=16)
+
+    def _run():
+        for _ in range(repeat):
+            acc = Accelerator(config)
+            simulate(model, acc)
+            model(x)
+            detach_context(model)
+
+    _, report = profile_call(_run, interval_s=interval_s)
+    return {
+        "model": "squeezenet",
+        "hardware": "tpu16",
+        "samples": report.samples,
+        "attributed_fraction": round(report.attributed_fraction(), 4),
+        "top_component": report.top_component(),
+        "shares": {k: round(v, 4) for k, v in report.shares().items()},
+    }
 
 
 def run_benchmark(jobs=DEFAULT_JOBS, out_path=None, cache_dir=None):
@@ -95,19 +142,55 @@ def run_benchmark(jobs=DEFAULT_JOBS, out_path=None, cache_dir=None):
     if cache_dir is None:
         owned_tmp = tempfile.TemporaryDirectory(prefix="stonne-simcache-")
         cache_dir = owned_tmp.name
+    from repro.observability.telemetry import enable_telemetry
+
     try:
-        serial_s, serial_cycles = _serial_sweep(points)
-        cold_s, cold_cycles, cold_stats = _parallel_sweep(
+        serial_s, serial_cycles, serial_samples = _serial_sweep(points)
+        cold_s, cold_cycles, cold_samples, cold_stats = _parallel_sweep(
             points, jobs, cache_dir
         )
-        warm_s, warm_cycles, warm_stats = _parallel_sweep(
+        warm_s, warm_cycles, warm_samples, warm_stats = _parallel_sweep(
             points, jobs, cache_dir
         )
+        # Telemetry overhead: the warm sweep again, telemetry off vs on,
+        # best-of-3 each so scheduler noise on a sub-second sweep does
+        # not swamp the comparison. The headline parallel_warm_s stays
+        # the first telemetry-off run above.
+        warm_off_best = warm_s
+        for _ in range(2):
+            rerun_s, rerun_cycles, _, _ = _parallel_sweep(
+                points, jobs, cache_dir
+            )
+            assert rerun_cycles == warm_cycles
+            warm_off_best = min(warm_off_best, rerun_s)
+        registry = enable_telemetry(True)
+        try:
+            warm_tel_best = None
+            for _ in range(3):
+                registry.reset()  # stage_seconds reflects one sweep
+                warm_tel_s, warm_tel_cycles, _, _ = _parallel_sweep(
+                    points, jobs, cache_dir
+                )
+                warm_tel_best = (
+                    warm_tel_s if warm_tel_best is None
+                    else min(warm_tel_best, warm_tel_s)
+                )
+            stage_hist = registry.get("stonne_stage_seconds")
+            stage_seconds = {
+                stage: round(stage_hist.sum(stage=stage), 4)
+                for stage in ("record", "simulate", "merge")
+            } if stage_hist is not None else {}
+        finally:
+            enable_telemetry(False)
     finally:
         if owned_tmp is not None:
             owned_tmp.cleanup()
 
-    identical = serial_cycles == cold_cycles == warm_cycles
+    hotspots = _profile_hotspots()
+    identical = (
+        serial_cycles == cold_cycles == warm_cycles == warm_tel_cycles
+    )
+    overhead_pct = (warm_tel_best - warm_off_best) / warm_off_best * 100.0
     record = {
         "benchmark": "parallel+cached whole-model simulation",
         "jobs": jobs,
@@ -118,8 +201,17 @@ def run_benchmark(jobs=DEFAULT_JOBS, out_path=None, cache_dir=None):
         "serial_s": round(serial_s, 4),
         "parallel_cold_s": round(cold_s, 4),
         "parallel_warm_s": round(warm_s, 4),
+        "parallel_warm_telemetry_s": round(warm_tel_best, 4),
+        "telemetry_overhead_pct": round(overhead_pct, 2),
         "speedup_cold": round(serial_s / cold_s, 3),
         "speedup_warm": round(serial_s / warm_s, 3),
+        "samples": {
+            "serial": serial_samples,
+            "parallel_cold": cold_samples,
+            "parallel_warm": warm_samples,
+        },
+        "stage_seconds": stage_seconds,
+        "hotspots": hotspots,
         "cold_stats": cold_stats,
         "warm_stats": warm_stats,
         "cycles_identical": identical,
@@ -141,6 +233,12 @@ def test_parallel_benchmark_speedup(jobs, tmp_path):
     assert record["cold_stats"]["fallbacks"] == 0
     assert record["warm_stats"]["cache_hits"] > 0
     assert record["speedup_warm"] >= 2.0
+    # every sweep carries one wall-clock sample per (model, hardware) cell
+    for sweep in ("serial", "parallel_cold", "parallel_warm"):
+        assert len(record["samples"][sweep]) == record["runs"]
+    assert record["telemetry_overhead_pct"] < 5.0
+    assert record["hotspots"]["top_component"] is not None
+    assert record["hotspots"]["attributed_fraction"] >= 0.95
 
 
 def _register_bench(record):

@@ -38,8 +38,14 @@ CYCLE_LEVEL_PACKAGES = ("repro.engine", "repro.noc", "repro.memory")
 ORDER_SENSITIVE_PACKAGES = CYCLE_LEVEL_PACKAGES + ("repro.parallel",)
 
 #: provenance/observability code legitimately reads wall clocks
-#: (timestamps on reports) and is whitelisted for DET-CLOCK
-CLOCK_WHITELISTED_PACKAGES = ("repro.observability",)
+#: (timestamps on reports, host-side telemetry instruments and the
+#: sampling hotspot profiler) and is whitelisted for DET-CLOCK; the
+#: telemetry subpackage is named explicitly so the whitelist survives
+#: even if the parent entry is ever narrowed
+CLOCK_WHITELISTED_PACKAGES = (
+    "repro.observability",
+    "repro.observability.telemetry",
+)
 
 #: legacy numpy global-state RNG entry points
 _NUMPY_LEGACY = frozenset({
@@ -56,9 +62,13 @@ _STDLIB_RANDOM = frozenset({
     "expovariate", "triangular", "vonmisesvariate", "getrandbits",
 })
 
-#: wall-clock call targets forbidden in cycle-level code
+#: wall-clock call targets forbidden in cycle-level code — including
+#: the monotonic/perf-counter family the telemetry instruments use:
+#: host-time reads of any kind do not belong in the timing model
 _WALL_CLOCK = frozenset({
     "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
 })

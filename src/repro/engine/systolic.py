@@ -30,6 +30,7 @@ from repro.errors import ConfigurationError, MappingError
 from repro.memory.dram import Dram
 from repro.memory.global_buffer import GlobalBuffer
 from repro.noc.base import ClockedComponent
+from repro.observability.telemetry.scopes import component_scope
 
 #: fixed pipeline fill/drain cycles per tile (weight-feed setup, edge
 #: buffers, and the output drain handshake), calibrated against the
@@ -126,7 +127,7 @@ class SystolicEngine(ClockedComponent):
         cycles = LAYER_SETUP_CYCLES
         tiles = 0
         macs = 0
-        with obs.profiler.phase("compute"):
+        with obs.profiler.phase("compute"), component_scope("engine.systolic"):
             if self.weight_stationary:
                 # tiles partition the stationary (K x N) weight matrix; the
                 # full M activation rows stream through each tile
@@ -259,18 +260,21 @@ class SystolicEngine(ClockedComponent):
         self.gb.record_writes(tm * tn)
 
     def _account_dram(self, m: int, k: int, n: int, compute_cycles: int) -> int:
-        bpe = self.config.dtype.bytes_per_element
-        working_set = m * k + k * n + m * n
-        reload_factor = 1
-        if not self.gb.fits(working_set):
-            reload_factor = math.ceil(working_set / self.gb.half_capacity_elements)
-        read_bytes = (m * k + k * n) * bpe * reload_factor
-        write_bytes = m * n * bpe
-        self.dram.record_read(read_bytes)
-        self.dram.record_write(write_bytes)
-        self.gb.record_fill(m * k + k * n)
-        transfer = self.dram.transfer_cycles(read_bytes + write_bytes)
-        return self.gb.dram_stall_cycles(transfer, compute_cycles)
+        with component_scope("memory.dram"):
+            bpe = self.config.dtype.bytes_per_element
+            working_set = m * k + k * n + m * n
+            reload_factor = 1
+            if not self.gb.fits(working_set):
+                reload_factor = math.ceil(
+                    working_set / self.gb.half_capacity_elements
+                )
+            read_bytes = (m * k + k * n) * bpe * reload_factor
+            write_bytes = m * n * bpe
+            self.dram.record_read(read_bytes)
+            self.dram.record_write(write_bytes)
+            self.gb.record_fill(m * k + k * n)
+            transfer = self.dram.transfer_cycles(read_bytes + write_bytes)
+            return self.gb.dram_stall_cycles(transfer, compute_cycles)
 
     def cycle(self) -> None:
         self._current_cycle += 1

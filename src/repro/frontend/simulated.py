@@ -134,13 +134,16 @@ def simulate_parallel(
     cache=None,
     round_builder=None,
     tiles=None,
+    progress=None,
 ):
     """Run ``model(x)`` with layers timed across a process pool.
 
     The merged per-layer reports land in ``accelerator.report`` exactly as
     a serial :func:`simulate` run would leave them (byte-identical cycles,
     counters and outputs — pinned by the differential suite). ``cache``
-    optionally reuses results from a :class:`~repro.parallel.SimCache`.
+    optionally reuses results from a :class:`~repro.parallel.SimCache`;
+    ``progress`` optionally streams per-layer completion through a
+    :class:`~repro.observability.telemetry.ProgressEmitter`.
     Returns the :class:`~repro.parallel.runner.ModelRunResult`.
     """
     from repro.parallel import ParallelModelRunner
@@ -152,6 +155,7 @@ def simulate_parallel(
         observability=accelerator.obs,
         round_builder=round_builder,
         tiles=tiles,
+        progress=progress,
     )
     result = runner.run_model(
         model, x, base_cycle=accelerator.report.total_cycles

@@ -60,6 +60,7 @@ from repro.noc.base import ClockedComponent
 from repro.noc.distribution import DistributionNetwork
 from repro.noc.multiplier import MultiplierNetwork
 from repro.noc.reduction import ReductionNetwork
+from repro.observability.telemetry.scopes import component_scope
 
 #: fixed cycles for the Configuration Unit to program a layer's signals
 LAYER_SETUP_CYCLES = 4
@@ -157,7 +158,7 @@ class DenseController(ClockedComponent):
             tracer.span("CTRL:setup", self.name, base, base + cycles)
 
         stall_cycles = 0
-        with prof.phase("distribute"):
+        with prof.phase("distribute"), component_scope("noc.distribution"):
             load_cycles = self._account_weight_loads(
                 w_unique, w_dests, w_cycles, weight_loads
             )
@@ -170,7 +171,7 @@ class DenseController(ClockedComponent):
         cycles += load_cycles
         obs.sample(cycles)
 
-        with prof.phase("compute"):
+        with prof.phase("compute"), component_scope("engine"):
             for cost, repeats in plan:
                 if repeats <= 0:
                     continue
@@ -436,7 +437,7 @@ class DenseController(ClockedComponent):
         self.mn.record_multiplications(cs * nc * repeats)
         if cost.forwarded:
             self.mn.record_forwarding(cost.forwarded * repeats)
-        with self.obs.profiler.phase("reduce"):
+        with self.obs.profiler.phase("reduce"), component_scope("noc.reduction"):
             self.rn.counters.add(self.rn.adder_counter, repeats * nc * max(0, cs - 1))
             self.rn.counters.add("rn_wire_traversals", repeats * nc * (2 * cs - 1))
             if cost.psum_writebacks:
@@ -451,21 +452,24 @@ class DenseController(ClockedComponent):
 
     def _account_dram(self, layer: ConvLayerSpec, compute_cycles: int) -> int:
         """Move the layer footprint through DRAM; returns stall cycles."""
-        bpe = self.config.dtype.bytes_per_element
-        weight_elems = layer.num_filters * layer.filter_size
-        input_elems = layer.n * layer.g * layer.c * layer.x * layer.y
-        output_elems = layer.num_outputs
-        working_set = weight_elems + input_elems + output_elems
-        reload_factor = 1
-        if not self.gb.fits(working_set):
-            reload_factor = math.ceil(working_set / self.gb.half_capacity_elements)
-        read_bytes = (weight_elems + input_elems) * bpe * reload_factor
-        write_bytes = output_elems * bpe
-        self.dram.record_read(read_bytes)
-        self.dram.record_write(write_bytes)
-        self.gb.record_fill(weight_elems + input_elems)
-        transfer = self.dram.transfer_cycles(read_bytes + write_bytes)
-        return self.gb.dram_stall_cycles(transfer, compute_cycles)
+        with component_scope("memory.dram"):
+            bpe = self.config.dtype.bytes_per_element
+            weight_elems = layer.num_filters * layer.filter_size
+            input_elems = layer.n * layer.g * layer.c * layer.x * layer.y
+            output_elems = layer.num_outputs
+            working_set = weight_elems + input_elems + output_elems
+            reload_factor = 1
+            if not self.gb.fits(working_set):
+                reload_factor = math.ceil(
+                    working_set / self.gb.half_capacity_elements
+                )
+            read_bytes = (weight_elems + input_elems) * bpe * reload_factor
+            write_bytes = output_elems * bpe
+            self.dram.record_read(read_bytes)
+            self.dram.record_write(write_bytes)
+            self.gb.record_fill(weight_elems + input_elems)
+            transfer = self.dram.transfer_cycles(read_bytes + write_bytes)
+            return self.gb.dram_stall_cycles(transfer, compute_cycles)
 
     def cycle(self) -> None:
         self._current_cycle += 1

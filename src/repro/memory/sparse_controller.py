@@ -45,6 +45,7 @@ from repro.noc.base import ClockedComponent
 from repro.noc.distribution import DistributionNetwork
 from repro.noc.multiplier import MultiplierNetwork
 from repro.noc.reduction import ReductionNetwork
+from repro.observability.telemetry.scopes import component_scope
 from repro.tensors.sparse import BitmapMatrix, CsrMatrix, from_dense
 
 #: fixed cycles for the Configuration Unit to program a GEMM's signals
@@ -341,7 +342,7 @@ class SparseController(ClockedComponent):
         resumed = sum(1 for chunk in chunks if chunk.start > 0)
 
         # stationary load of the round's weights (plus compressed metadata)
-        with obs.profiler.phase("distribute"):
+        with obs.profiler.phase("distribute"), component_scope("noc.distribution"):
             load_cycles = self.dn.record_delivery(nnz, nnz)
             self.gb.record_reads(nnz)
             self.counters.add("ctrl_stationary_loads", nnz)
@@ -353,7 +354,7 @@ class SparseController(ClockedComponent):
         clock += load_cycles
 
         # column streaming
-        with obs.profiler.phase("compute"):
+        with obs.profiler.phase("compute"), component_scope("engine"):
             drain = self.rn.output_cycles(len(chunks))
             if b_mask is not None and support:
                 # dual-sided sparsity: per column only the nonzero streamed
@@ -399,7 +400,7 @@ class SparseController(ClockedComponent):
             else:
                 round_mults = nnz * n_cols
             self.mn.record_multiplications(round_mults)
-        with obs.profiler.phase("reduce"):
+        with obs.profiler.phase("reduce"), component_scope("noc.reduction"):
             self.rn.counters.add(
                 self.rn.adder_counter,
                 n_cols * sum(max(0, size - 1) for size in cluster_sizes),

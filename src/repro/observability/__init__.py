@@ -12,8 +12,10 @@ Three coordinated instruments over one simulation:
   / ``drain``);
 
 plus :mod:`repro.observability.provenance` (run metadata stamped on
-every report) and :mod:`repro.observability.validate` (trace schema
-checking). :class:`Observability` bundles the instruments for one
+every report), :mod:`repro.observability.validate` (trace schema
+checking) and :mod:`repro.observability.telemetry` (host-side metrics
+facade, sampling hotspot profiler, live progress, Prometheus/JSONL
+exporters). :class:`Observability` bundles the instruments for one
 accelerator; everything is off by default and near-free when disabled.
 
 Usage::
@@ -46,6 +48,16 @@ from repro.observability.registry import (
     default_registry_dir,
     registry_enabled,
 )
+from repro.observability.telemetry import (
+    HotspotReport,
+    HotspotSampler,
+    ProgressEmitter,
+    Telemetry,
+    component_scope,
+    enable_telemetry,
+    telemetry,
+    to_prometheus,
+)
 from repro.observability.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -58,6 +70,8 @@ from repro.observability.validate import validate_chrome_trace, validate_metrics
 __all__ = [
     "DISABLED",
     "HEADLINE_COUNTERS",
+    "HotspotReport",
+    "HotspotSampler",
     "MetricsRecorder",
     "MetricsSample",
     "NULL_PROFILER",
@@ -66,16 +80,22 @@ __all__ = [
     "NullTracer",
     "Observability",
     "Profiler",
+    "ProgressEmitter",
     "RunRecord",
     "RunRegistry",
     "TRACE_COUNTER_SERIES",
+    "Telemetry",
     "TraceEvent",
     "Tracer",
+    "component_scope",
     "config_hash",
     "default_registry_dir",
+    "enable_telemetry",
     "parse_chrome_trace",
     "registry_enabled",
     "run_metadata",
+    "telemetry",
+    "to_prometheus",
     "utilization_series",
     "validate_chrome_trace",
     "validate_metrics_json",

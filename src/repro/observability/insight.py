@@ -734,6 +734,55 @@ def _cmd_export_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hotspots(args: argparse.Namespace) -> int:
+    """Profile a short in-process model run; report host-time hotspots.
+
+    This is the data source for ROADMAP item 1 (vectorizing the
+    cycle-level hot paths): it answers "which simulator component costs
+    the most *host seconds*", the wall-clock dual of ``attribute``.
+    """
+    from repro.engine.accelerator import Accelerator
+    from repro.frontend.models import build_model, model_input
+    from repro.frontend.simulated import detach_context, simulate
+    from repro.observability.telemetry import profile_call
+
+    from repro.config import maeri_like, sigma_like, tpu_like
+
+    if args.arch == "tpu":
+        config = tpu_like(num_pes=args.num_ms)
+    elif args.arch == "sigma":
+        config = sigma_like(num_ms=args.num_ms,
+                            bandwidth=max(1, args.num_ms // 2))
+    else:
+        config = maeri_like(num_ms=args.num_ms,
+                            bandwidth=max(1, args.num_ms // 2))
+
+    model = build_model(args.model, seed=0)
+    x = model_input(args.model, batch=1, seed=1)
+
+    def _run() -> None:
+        for _ in range(max(1, args.repeat)):
+            acc = Accelerator(config)
+            simulate(model, acc)
+            model(x)
+            detach_context(model)
+
+    _, report = profile_call(_run, interval_s=args.interval_ms / 1000.0)
+
+    if args.format == "json":
+        text = json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+    elif args.format == "html":
+        text = report.to_html()
+    else:
+        text = report.to_text() + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"hotspot report written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.observability.insight",
@@ -795,6 +844,27 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--keep", type=int, default=20)
     cmd.add_argument("--workload")
     cmd.set_defaults(func=_cmd_prune)
+
+    cmd = sub.add_parser(
+        "hotspots",
+        help="sample a short model run; attribute host wall-clock to "
+             "simulator components",
+    )
+    cmd.add_argument("--model", default="squeezenet",
+                     help="Table I model to profile (default squeezenet)")
+    cmd.add_argument("--arch", choices=("tpu", "maeri", "sigma"),
+                     default="tpu")
+    cmd.add_argument("--num-ms", type=int, default=16,
+                     help="fabric size (default 16: long enough per layer "
+                          "for dense sampling)")
+    cmd.add_argument("--interval-ms", type=float, default=1.0,
+                     help="sampling interval in milliseconds")
+    cmd.add_argument("--repeat", type=int, default=5,
+                     help="profile N back-to-back runs for more samples")
+    cmd.add_argument("--format", choices=("text", "json", "html"),
+                     default="text")
+    cmd.add_argument("-o", "--out", help="output path (default: stdout)")
+    cmd.set_defaults(func=_cmd_hotspots)
 
     cmd = sub.add_parser(
         "export-baseline",

@@ -31,11 +31,14 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import time
 import uuid
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Union
+
+from repro.observability.telemetry.facade import telemetry
 
 #: bump when the stored record payload changes shape
 SCHEMA_VERSION = 1
@@ -245,6 +248,7 @@ class RunRegistry:
     # ---- write --------------------------------------------------------
     def record(self, record: RunRecord) -> str:
         """Append one record; returns its run id."""
+        started = time.perf_counter()
         self._conn.execute(
             "INSERT INTO runs (run_id, created_utc, workload, source, "
             "config_name, config_hash, total_cycles, total_macs, "
@@ -259,6 +263,15 @@ class RunRegistry:
             ),
         )
         self._conn.commit()
+        registry = telemetry()
+        registry.counter(
+            "stonne_registry_writes_total",
+            "Run records appended to the registry, by source",
+        ).inc(source=record.source)
+        registry.histogram(
+            "stonne_registry_write_seconds",
+            "Host wall seconds per registry write (insert + commit)",
+        ).observe(time.perf_counter() - started)
         return record.run_id
 
     def record_report(self, report, workload: str, **kwargs) -> str:

@@ -1,0 +1,103 @@
+"""Component scopes: cheap per-thread markers for the hotspot sampler.
+
+The sampling profiler attributes a stack by walking frames and mapping
+filenames to components, but some host time is spent in code that is
+*on behalf of* a component without living in its package — e.g. the
+dense controller accounting NoC deliveries from ``repro.memory``. A
+:func:`component_scope` context manager pushes an explicit component
+name onto a per-thread stack; while a sampler is active, the innermost
+pushed name wins over the frame-derived guess.
+
+Scopes are designed to cost nothing when no sampler runs: ``push`` is a
+single attribute read returning ``False`` until :func:`activate` turns
+the registry on. They carry **no state into simulation results** — the
+differential suite pins telemetry-on and -off runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+
+class _ScopeRegistry:
+    """Per-thread stacks of active component names."""
+
+    def __init__(self) -> None:
+        self.active = False
+        self._lock = threading.Lock()
+        self._stacks: Dict[int, List[str]] = {}
+
+    def activate(self, on: bool) -> None:
+        with self._lock:
+            self.active = on
+            if not on:
+                self._stacks.clear()
+
+    def push(self, name: str) -> bool:
+        """Push ``name`` for the calling thread; no-op unless active."""
+        if not self.active:
+            return False
+        tid = threading.get_ident()
+        with self._lock:
+            self._stacks.setdefault(tid, []).append(name)
+        return True
+
+    def pop(self) -> None:
+        tid = threading.get_ident()
+        with self._lock:
+            stack = self._stacks.get(tid)
+            if stack:
+                stack.pop()
+                if not stack:
+                    del self._stacks[tid]
+
+    def current(self, thread_id: Optional[int] = None) -> Optional[str]:
+        """The innermost scope of ``thread_id`` (caller's thread default)."""
+        tid = thread_id if thread_id is not None else threading.get_ident()
+        with self._lock:
+            stack = self._stacks.get(tid)
+            if not stack:
+                return None
+            return stack[-1]
+
+
+_SCOPES = _ScopeRegistry()
+
+
+def scope_registry() -> _ScopeRegistry:
+    return _SCOPES
+
+
+def activate_scopes(on: bool = True) -> None:
+    """Turn scope tracking on/off (driven by the hotspot sampler)."""
+    _SCOPES.activate(on)
+
+
+def current_component(thread_id: Optional[int] = None) -> Optional[str]:
+    return _SCOPES.current(thread_id)
+
+
+class _ComponentScope:
+    __slots__ = ("name", "_pushed")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._pushed = False
+
+    def __enter__(self) -> "_ComponentScope":
+        self._pushed = _SCOPES.push(self.name)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._pushed:
+            _SCOPES.pop()
+            self._pushed = False
+
+
+def component_scope(name: str) -> _ComponentScope:
+    """Mark the enclosed host work as belonging to component ``name``.
+
+    Free (one attribute read) unless a hotspot sampler is running.
+    """
+    return _ComponentScope(name)

@@ -20,6 +20,14 @@ Entries persist to disk (optional) under
 ``<dir>/v<schema>/<config-hash>/<key>.json``; both the schema version and
 the provenance config hash are part of the key *and* the path, so bumping
 either invalidates without any deletion logic.
+
+A disk cache can be bounded with ``max_bytes``: when a ``put`` pushes
+the on-disk footprint over the limit, least-recently-used entries
+(oldest mtime; ``get`` touches mtime) are deleted until it fits.
+Eviction only ever drops the *disk* copy — an evicted key simply
+misses and re-simulates, so correctness is untouched. Hits, misses,
+evictions and bytes-on-disk are reported per config-hash shard through
+:mod:`repro.observability.telemetry` when telemetry is enabled.
 """
 
 from __future__ import annotations
@@ -27,13 +35,15 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.config.hardware import HardwareConfig
 from repro.observability.provenance import config_hash
+from repro.observability.telemetry.facade import telemetry
 from repro.parallel.workload import DATA_DEPENDENT_KINDS, LayerWorkload
 
 #: bump when the key layout or the stored payload schema changes — old
@@ -200,11 +210,90 @@ def canonical_key(workload: LayerWorkload, config: HardwareConfig) -> str:
 class SimCache:
     """Memoizes per-layer simulation payloads, optionally on disk."""
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive when set")
         self.directory = Path(directory) if directory is not None else None
+        self.max_bytes = max_bytes
         self._memory: Dict[str, Dict] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._disk_scanned = False
+        self._disk_bytes = 0
+        self._shard_bytes: Dict[str, int] = {}
+
+    # ---- telemetry ----------------------------------------------------
+    @staticmethod
+    def _shard(config: HardwareConfig) -> str:
+        return config_hash(config)[:12]
+
+    def _publish_shard_bytes(self) -> None:
+        gauge = telemetry().gauge(
+            "stonne_simcache_bytes", "Bytes on disk per cache shard"
+        )
+        if not gauge.enabled:
+            return
+        for shard, size in sorted(self._shard_bytes.items()):
+            gauge.set(float(size), shard=shard)
+        gauge.set(float(self._disk_bytes), shard="all")
+
+    # ---- disk accounting ----------------------------------------------
+    def _entry_files(self) -> List[Tuple[float, int, Path]]:
+        """(mtime, size, path) for every on-disk entry, oldest first."""
+        assert self.directory is not None
+        files: List[Tuple[float, int, Path]] = []
+        root = self.directory / f"v{CACHE_SCHEMA_VERSION}"
+        for path in sorted(root.glob("*/*.json")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            files.append((stat.st_mtime, stat.st_size, path))
+        files.sort(key=lambda item: (item[0], str(item[2])))
+        return files
+
+    def _ensure_disk_scan(self) -> None:
+        """Account entries that predate this process (lazy, once)."""
+        if self._disk_scanned or self.directory is None:
+            self._disk_scanned = True
+            return
+        self._disk_scanned = True
+        self._disk_bytes = 0
+        self._shard_bytes = {}
+        for _, size, path in self._entry_files():
+            shard = path.parent.name[:12]
+            self._disk_bytes += size
+            self._shard_bytes[shard] = self._shard_bytes.get(shard, 0) + size
+
+    def _evict_to_fit(self) -> None:
+        """Delete LRU entries (oldest mtime) until the cap is honored."""
+        assert self.directory is not None and self.max_bytes is not None
+        if self._disk_bytes <= self.max_bytes:
+            return
+        counter = telemetry().counter(
+            "stonne_simcache_evictions_total",
+            "Disk cache entries evicted by the max_bytes LRU policy",
+        )
+        files = self._entry_files()
+        for _, size, path in files[:-1]:  # never evict the newest entry
+            if self._disk_bytes <= self.max_bytes:
+                break
+            shard = path.parent.name[:12]
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.evictions += 1
+            self._disk_bytes -= size
+            self._shard_bytes[shard] = max(
+                self._shard_bytes.get(shard, 0) - size, 0
+            )
+            counter.inc(shard=shard)
 
     # ---- keying -------------------------------------------------------
     @staticmethod
@@ -241,18 +330,29 @@ class SimCache:
                 ):
                     entry = stored["payload"]
                     self._memory[key] = entry
+                    os.utime(path)  # LRU touch: disk hits refresh recency
             except (OSError, ValueError, KeyError):
                 entry = None  # absent or corrupt: treat as a miss
+        registry = telemetry()
         if entry is None:
             self.misses += 1
+            registry.counter(
+                "stonne_simcache_misses_total",
+                "Simulation cache misses per config-hash shard",
+            ).inc(shard=self._shard(config))
             return None
         self.hits += 1
+        registry.counter(
+            "stonne_simcache_hits_total",
+            "Simulation cache hits per config-hash shard",
+        ).inc(shard=self._shard(config))
         return entry
 
     def put(self, key: str, payload: Dict, config: HardwareConfig) -> None:
         self._memory[key] = payload
         if self.directory is None:
             return
+        self._ensure_disk_scan()
         path = self._path(key, config)
         path.parent.mkdir(parents=True, exist_ok=True)
         record = {
@@ -262,8 +362,21 @@ class SimCache:
             "payload": payload,
         }
         tmp = path.with_suffix(".json.tmp")
+        try:
+            previous = path.stat().st_size
+        except OSError:
+            previous = 0
         tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
         tmp.replace(path)
+        shard = self._shard(config)
+        size = path.stat().st_size
+        self._disk_bytes += size - previous
+        self._shard_bytes[shard] = (
+            self._shard_bytes.get(shard, 0) + size - previous
+        )
+        if self.max_bytes is not None:
+            self._evict_to_fit()
+        self._publish_shard_bytes()
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -272,9 +385,16 @@ class SimCache:
         """Drop the in-process layer (disk entries survive)."""
         self._memory.clear()
 
+    def disk_bytes(self) -> int:
+        """Bytes currently on disk (0 for a memory-only cache)."""
+        self._ensure_disk_scan()
+        return self._disk_bytes
+
     def stats(self) -> Dict[str, int]:
         return {
             "entries": len(self._memory),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_bytes": self.disk_bytes(),
         }

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import atexit
 import dataclasses
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -41,6 +42,8 @@ from repro.errors import SimulationError
 from repro.observability import Observability
 from repro.observability.context import TRACE_COUNTER_SERIES
 from repro.observability.metrics import MetricsSample
+from repro.observability.telemetry.facade import telemetry
+from repro.observability.telemetry.progress import ProgressEmitter
 from repro.parallel.cache import SimCache
 from repro.parallel.workload import LayerWorkload, record_model
 
@@ -62,6 +65,7 @@ def _simulate_workload(
     registry: per-layer fragments are not runs — only the parent's
     merged report is registered, once, by whoever drove the model.
     """
+    started = time.perf_counter()
     obs = Observability.create(trace=trace, metrics_every=metrics_every)
     acc = Accelerator(config, observability=obs)
     params = workload.params
@@ -102,6 +106,9 @@ def _simulate_workload(
             {"cycle": s.cycle, "values": dict(s.values)}
             for s in (obs.metrics.samples if obs.metrics is not None else [])
         ],
+        # host wall seconds of this one simulation; the parent feeds it
+        # to telemetry (never the cache — only "layer" is ever stored)
+        "host_seconds": time.perf_counter() - started,
     }
 
 
@@ -172,6 +179,7 @@ class ParallelModelRunner:
         round_builder=None,
         tiles=None,
         executor=None,
+        progress: Optional[ProgressEmitter] = None,
     ) -> None:
         if not isinstance(config, HardwareConfig):
             config = load_config(config)
@@ -183,6 +191,7 @@ class ParallelModelRunner:
         self.obs = observability if observability is not None else Observability()
         self.round_builder = round_builder
         self.tiles = tiles
+        self.progress = progress
         #: injection point for tests; ``None`` uses the shared pool
         self._executor = executor
 
@@ -191,6 +200,26 @@ class ParallelModelRunner:
         trace = self.obs.tracer.enabled
         every = self.obs.metrics.every if self.obs.metrics is not None else 0
         return trace, every
+
+    def _emit_progress(self, workload: LayerWorkload, mode: str) -> None:
+        if self.progress is not None:
+            self.progress.layer_done(
+                workload.index, workload.name, workload.kind, mode
+            )
+
+    def _note_task(self, bundle: Dict, mode: str) -> None:
+        """Feed one finished simulation task into the telemetry facade."""
+        registry = telemetry()
+        registry.counter(
+            "stonne_pool_tasks_total",
+            "Simulation tasks by execution mode",
+        ).inc(mode=mode)
+        seconds = bundle.get("host_seconds")
+        if isinstance(seconds, (int, float)):
+            registry.histogram(
+                "stonne_pool_task_seconds",
+                "Host wall seconds per simulated layer task",
+            ).observe(float(seconds), mode=mode)
 
     def _simulate_misses(
         self, misses: List[LayerWorkload]
@@ -205,11 +234,18 @@ class ParallelModelRunner:
                 results[workload.index] = _simulate_workload(
                     self.config, workload, trace, every
                 )
+                self._note_task(results[workload.index], "simulated")
+                self._emit_progress(workload, "simulated")
             return results, fallbacks
 
         executor = self._executor
         if executor is None:
             executor = _get_pool(self.jobs)
+        registry = telemetry()
+        queue_gauge = registry.gauge(
+            "stonne_pool_queue_depth",
+            "Simulation tasks submitted and not yet collected",
+        )
         futures: Dict[int, Optional[Future]] = {}
         for workload in misses:
             try:
@@ -220,6 +256,10 @@ class ParallelModelRunner:
             # stonne: lint-ok[EXC-BROAD] submit fails with arbitrary types (pickling, pool state); the serial fallback below retypes real errors
             except Exception:
                 futures[workload.index] = None  # unpicklable / broken pool
+        pending = len(misses)
+        queue_gauge.set(float(pending))
+        batch_started = time.perf_counter()
+        task_seconds: List[float] = []
         for workload in misses:
             future = futures[workload.index]
             bundle: Optional[Dict] = None
@@ -229,26 +269,66 @@ class ParallelModelRunner:
                 # stonne: lint-ok[EXC-BROAD] a dead pool raises arbitrary types; the serial fallback below reproduces genuine simulation errors typed
                 except Exception:
                     bundle = None
+            mode = "simulated"
             if bundle is None:
                 # per-layer isolation: whatever went wrong out-of-process
                 # (pool death, pickling, a worker bug), the layer still
                 # simulates — serially, in-process. A genuine simulation
                 # error reproduces here and propagates with its real type.
                 fallbacks += 1
+                mode = "fallback"
                 bundle = _simulate_workload(self.config, workload, trace, every)
             results[workload.index] = bundle
+            pending -= 1
+            queue_gauge.set(float(pending))
+            self._note_task(bundle, mode)
+            seconds = bundle.get("host_seconds")
+            if isinstance(seconds, (int, float)):
+                task_seconds.append(float(seconds))
+            self._emit_progress(workload, mode)
+        self._note_batch(task_seconds, time.perf_counter() - batch_started)
         return results, fallbacks
 
+    def _note_batch(self, task_seconds: List[float], wall_s: float) -> None:
+        """Pool-health gauges for one parallel batch: how well the pool
+        was saturated and how unequal the per-task costs were."""
+        registry = telemetry()
+        if not registry.enabled or not task_seconds:
+            return
+        registry.gauge(
+            "stonne_pool_straggler_spread_s",
+            "Slowest minus fastest task seconds in the last batch",
+        ).set(max(task_seconds) - min(task_seconds))
+        capacity = wall_s * self.jobs
+        busy = min(sum(task_seconds) / capacity, 1.0) if capacity > 0 else 0.0
+        registry.gauge(
+            "stonne_pool_busy_fraction",
+            "Aggregate worker busy time over pool capacity, last batch",
+        ).set(busy)
+
     # ---- the whole-model run ------------------------------------------
+    def _stage_seconds(self, stage: str, started: float) -> None:
+        telemetry().histogram(
+            "stonne_stage_seconds",
+            "Host wall seconds per model-run stage",
+        ).observe(time.perf_counter() - started, stage=stage)
+
     def run_model(self, model, x: np.ndarray, base_cycle: int = 0) -> ModelRunResult:
         """Simulate ``model(x)``; returns output + merged report."""
         profiler = self.obs.profiler
+        stage_started = time.perf_counter()
         with profiler.phase("record"):
             output, workloads = record_model(
                 model, x, self.config,
                 round_builder=self.round_builder, tiles=self.tiles,
             )
+        self._stage_seconds("record", stage_started)
 
+        if self.progress is not None:
+            self.progress.total = len(workloads)
+            self.progress.model_start()
+
+        stage_started = time.perf_counter()
         with profiler.phase("simulate"):
             keys: Dict[int, Optional[str]] = {
                 w.index: (
@@ -267,6 +347,8 @@ class ParallelModelRunner:
                 if payload is not None:
                     bundles[workload.index] = {"layer": payload, "cached": True}
                     cache_hits += 1
+                    self._note_task(bundles[workload.index], "cached")
+                    self._emit_progress(workload, "cached")
 
             # fold repeated shapes onto one simulation each
             first_for_key: Dict[str, int] = {}
@@ -285,10 +367,13 @@ class ParallelModelRunner:
 
             simulated, fallbacks = self._simulate_misses(misses)
             bundles.update(simulated)
+            by_index = {w.index: w for w in workloads}
             for index, source in shared_from.items():
                 bundles[index] = {
                     "layer": simulated[source]["layer"], "cached": True,
                 }
+                self._note_task(bundles[index], "deduplicated")
+                self._emit_progress(by_index[index], "deduplicated")
 
             if self.cache is not None:
                 for workload in misses:
@@ -297,7 +382,9 @@ class ParallelModelRunner:
                         self.cache.put(
                             key, simulated[workload.index]["layer"], self.config
                         )
+        self._stage_seconds("simulate", stage_started)
 
+        stage_started = time.perf_counter()
         with profiler.phase("merge"):
             report = self._merge(workloads, bundles, base_cycle)
             report.metadata.update({
@@ -312,6 +399,9 @@ class ParallelModelRunner:
                 # which must stay byte-identical to a serial run)
                 "parallel_all_cached": bool(workloads) and not misses,
             })
+        self._stage_seconds("merge", stage_started)
+        if self.progress is not None:
+            self.progress.model_end()
         return ModelRunResult(
             output=output,
             report=report,

@@ -89,6 +89,17 @@ def _add_hw_args(parser: argparse.ArgumentParser) -> None:
                              "(default 64 when --metrics is given)")
     parser.add_argument("--profile", action="store_true",
                         help="print a wall-clock phase profile of the simulator")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect host-side telemetry (cache/pool/registry "
+                             "metrics); printed to stderr unless "
+                             "--telemetry-out is given")
+    parser.add_argument("--telemetry-out", metavar="PATH", default=None,
+                        help="write the telemetry snapshot to PATH "
+                             "(implies --telemetry)")
+    parser.add_argument("--telemetry-format", choices=("prom", "jsonl"),
+                        default="prom",
+                        help="telemetry output format: Prometheus text "
+                             "exposition or a JSONL snapshot")
     _add_registry_args(parser)
 
 
@@ -117,6 +128,41 @@ def _parse_tile(text: Optional[str]) -> Optional[TileConfig]:
     return TileConfig(**dict(zip(keys, values)))
 
 
+def _telemetry_wanted(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "telemetry", False)
+        or getattr(args, "telemetry_out", None)
+    )
+
+
+def _start_telemetry(args: argparse.Namespace) -> None:
+    if _telemetry_wanted(args):
+        from repro.observability.telemetry import enable_telemetry
+
+        enable_telemetry(True)
+
+
+def _finish_telemetry(args: argparse.Namespace) -> None:
+    """Emit the collected telemetry (stderr, or --telemetry-out)."""
+    if not _telemetry_wanted(args):
+        return
+    from repro.observability.telemetry import (
+        telemetry,
+        to_prometheus,
+        write_telemetry,
+    )
+
+    out = getattr(args, "telemetry_out", None)
+    if out:
+        try:
+            write_telemetry(telemetry(), out, format=args.telemetry_format)
+        except OSError as exc:
+            raise StonneError(f"cannot write telemetry to {out}: {exc}")
+        print(f"telemetry written to {out}", file=sys.stderr)
+    else:
+        print(to_prometheus(telemetry()), file=sys.stderr, end="")
+
+
 def _make_observability(args: argparse.Namespace) -> Observability:
     """Build the observability context the run flags ask for."""
     metrics_every = args.metrics_every
@@ -124,6 +170,7 @@ def _make_observability(args: argparse.Namespace) -> Observability:
         metrics_every = 64
     if metrics_every < 0:
         raise StonneError("--metrics-every must be >= 0")
+    _start_telemetry(args)
     return Observability.create(
         trace=bool(args.trace),
         metrics_every=metrics_every,
@@ -158,6 +205,7 @@ def _finish_observability(acc: Accelerator, args: argparse.Namespace) -> None:
               f"{obs.metrics.every} cycles)", file=sys.stderr)
     if args.profile:
         print(obs.profiler.format_summary(), file=sys.stderr)
+    _finish_telemetry(args)
 
 
 def _registry_wanted(args: argparse.Namespace) -> bool:
@@ -265,6 +313,25 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_progress(args: argparse.Namespace, config: HardwareConfig):
+    """Build the ProgressEmitter the model-run flags ask for, or None."""
+    live = bool(getattr(args, "live", False))
+    jsonl = getattr(args, "progress_jsonl", None)
+    if not live and not jsonl:
+        return None
+    from repro.observability.provenance import config_hash
+    from repro.observability.telemetry import EtaEstimator, ProgressEmitter
+
+    workload = f"model:{args.name}:b{args.batch}"
+    eta = EtaEstimator.from_registry(
+        args.registry_dir, workload, config_hash(config)
+    )
+    return ProgressEmitter(
+        workload, total=0, stream=sys.stderr, live=live,
+        jsonl_path=jsonl, eta=eta,
+    )
+
+
 def _cmd_model(args: argparse.Namespace) -> int:
     from repro.frontend.models import build_model, model_input
     from repro.frontend.simulated import (
@@ -278,14 +345,19 @@ def _cmd_model(args: argparse.Namespace) -> int:
     model = build_model(args.name, seed=args.seed, prune=not args.dense)
     x = model_input(args.name, batch=args.batch, seed=args.seed + 1)
     acc = Accelerator(_build_config(args), observability=_make_observability(args))
+    progress = _make_progress(args, acc.config)
     cached_run = False
     started = time.perf_counter()
-    if args.jobs != 1 or args.cache:
+    # --live routes through the parallel runner even at jobs=1: it is
+    # the surface that reports per-layer completion, and the
+    # differential suite pins it byte-identical to the classic path
+    if args.jobs != 1 or args.cache or progress is not None:
         from repro.parallel import SimCache
 
         cache = SimCache(args.cache) if args.cache else None
         result = simulate_parallel(
-            model, acc, x, jobs=args.jobs or None, cache=cache
+            model, acc, x, jobs=args.jobs or None, cache=cache,
+            progress=progress,
         )
         cached_run = result.layers > 0 and result.simulated == 0
         print(
@@ -423,6 +495,12 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("--cache", metavar="DIR",
                        help="persist/reuse per-layer simulation results "
                             "in DIR (dense layers only)")
+    model.add_argument("--live", action="store_true",
+                       help="stream per-layer progress with an ETA from "
+                            "registry history (plain lines when stderr "
+                            "is not a TTY)")
+    model.add_argument("--progress-jsonl", metavar="PATH", default=None,
+                       help="also write progress events as JSONL to PATH")
     _add_hw_args(model)
     model.set_defaults(func=_cmd_model)
 

@@ -5,7 +5,8 @@ import time
 
 def step(events):
     started = time.time()
+    budget = time.perf_counter()  # monotonic clocks are just as forbidden
     seen = []
     for name in events.keys():
         seen.append(name)
-    return started, seen
+    return started, budget, seen

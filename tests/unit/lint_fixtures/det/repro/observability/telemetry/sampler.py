@@ -1,0 +1,7 @@
+"""Fixture: host-side telemetry legitimately reads every clock family."""
+
+import time
+
+
+def sample():
+    return time.perf_counter(), time.monotonic(), time.time()

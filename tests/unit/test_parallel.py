@@ -146,7 +146,10 @@ def test_cache_memory_roundtrip(small_maeri):
     assert cache.get(key, small_maeri) is None
     cache.put(key, {"cycles": 7}, small_maeri)
     assert cache.get(key, small_maeri) == {"cycles": 7}
-    assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+    assert cache.stats() == {
+        "entries": 1, "hits": 1, "misses": 1,
+        "evictions": 0, "disk_bytes": 0,
+    }
 
 
 def test_cache_disk_roundtrip(tmp_path, small_maeri):

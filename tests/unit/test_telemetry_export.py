@@ -1,0 +1,112 @@
+"""Prometheus exposition round-trip and JSONL snapshot exporters."""
+
+import json
+
+import pytest
+
+from repro.observability.telemetry.export import (
+    parse_prometheus,
+    to_prometheus,
+    write_snapshot,
+    write_telemetry,
+)
+from repro.observability.telemetry.facade import Telemetry
+
+
+def _registry():
+    reg = Telemetry(enabled=True)
+    hits = reg.counter("stonne_simcache_hits_total", "disk+memory cache hits")
+    hits.inc(3.0, shard="abc123")
+    hits.inc(shard="def456")
+    reg.gauge("stonne_pool_queue_depth", "pending futures").set(4.0)
+    hist = reg.histogram(
+        "stonne_stage_seconds", "per-stage wall seconds",
+        buckets=(0.01, 0.1, 1.0),
+    )
+    hist.observe(0.05, stage="record")
+    hist.observe(0.5, stage="record")
+    hist.observe(0.002, stage="merge")
+    return reg
+
+
+def test_exposition_format_shape():
+    text = to_prometheus(_registry())
+    lines = text.splitlines()
+    assert "# HELP stonne_simcache_hits_total disk+memory cache hits" in lines
+    assert "# TYPE stonne_simcache_hits_total counter" in lines
+    assert 'stonne_simcache_hits_total{shard="abc123"} 3' in lines
+    assert "# TYPE stonne_pool_queue_depth gauge" in lines
+    assert "stonne_pool_queue_depth 4" in lines
+    assert "# TYPE stonne_stage_seconds histogram" in lines
+    # cumulative buckets: 0.05 lands in le=0.1 and le=1.0
+    assert 'stonne_stage_seconds_bucket{stage="record",le="0.01"} 0' in lines
+    assert 'stonne_stage_seconds_bucket{stage="record",le="0.1"} 1' in lines
+    assert 'stonne_stage_seconds_bucket{stage="record",le="1.0"} 2' in lines
+    assert 'stonne_stage_seconds_bucket{stage="record",le="+Inf"} 2' in lines
+    assert 'stonne_stage_seconds_count{stage="record"} 2' in lines
+    assert text.endswith("\n")
+
+
+def test_round_trip_parse():
+    reg = _registry()
+    parsed = parse_prometheus(to_prometheus(reg))
+
+    hits = parsed["stonne_simcache_hits_total"]
+    assert hits["kind"] == "counter"
+    assert hits["help"] == "disk+memory cache hits"
+    assert hits["samples"] == {
+        "stonne_simcache_hits_total{shard=abc123}": 3.0,
+        "stonne_simcache_hits_total{shard=def456}": 1.0,
+    }
+
+    gauge = parsed["stonne_pool_queue_depth"]
+    assert gauge["kind"] == "gauge"
+    assert gauge["samples"] == {"stonne_pool_queue_depth{}": 4.0}
+
+    hist = parsed["stonne_stage_seconds"]
+    assert hist["kind"] == "histogram"
+    samples = hist["samples"]
+    assert samples["stonne_stage_seconds_count{stage=record}"] == 2.0
+    assert samples["stonne_stage_seconds_sum{stage=record}"] == \
+        pytest.approx(0.55)
+    assert samples["stonne_stage_seconds_bucket{le=+Inf,stage=record}"] == 2.0
+    assert samples["stonne_stage_seconds_bucket{le=0.01,stage=merge}"] == 1.0
+
+
+def test_label_escaping_round_trips():
+    reg = Telemetry(enabled=True)
+    reg.counter("weird").inc(path='a"b\\c\nd')
+    parsed = parse_prometheus(to_prometheus(reg))
+    samples = parsed["weird"]["samples"]
+    assert samples == {'weird{path=a"b\\c\nd}': 1.0}
+
+
+def test_empty_registry_renders_empty():
+    assert to_prometheus(Telemetry(enabled=True)) == ""
+    assert parse_prometheus("") == {}
+
+
+def test_write_snapshot_appends_jsonl(tmp_path):
+    reg = _registry()
+    path = tmp_path / "snaps" / "telemetry.jsonl"
+    write_snapshot(reg, path, context={"workload": "squeezenet"})
+    write_snapshot(reg, path)
+    records = [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+    ]
+    assert len(records) == 2
+    assert records[0]["context"] == {"workload": "squeezenet"}
+    assert "context" not in records[1]
+    series = records[0]["telemetry"]["stonne_simcache_hits_total"]["series"]
+    assert series == {"shard=abc123": 3.0, "shard=def456": 1.0}
+
+
+def test_write_telemetry_formats(tmp_path):
+    reg = _registry()
+    prom = write_telemetry(reg, tmp_path / "metrics.prom", format="prom")
+    assert parse_prometheus(prom.read_text(encoding="utf-8"))
+    jsonl = write_telemetry(reg, tmp_path / "metrics.jsonl", format="jsonl")
+    assert json.loads(jsonl.read_text(encoding="utf-8").splitlines()[0])
+    with pytest.raises(ValueError):
+        write_telemetry(reg, tmp_path / "x", format="xml")

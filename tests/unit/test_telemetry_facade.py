@@ -1,0 +1,133 @@
+"""Telemetry facade: counters, gauges, histograms, registry semantics."""
+
+import pytest
+
+from repro.observability.telemetry.facade import (
+    DEFAULT_BUCKETS,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    Telemetry,
+    enable_telemetry,
+    telemetry,
+    telemetry_enabled,
+)
+
+
+def test_counter_inc_and_labels():
+    reg = Telemetry(enabled=True)
+    hits = reg.counter("hits", "cache hits")
+    hits.inc(shard="a")
+    hits.inc(2.0, shard="a")
+    hits.inc(shard="b")
+    assert hits.value(shard="a") == 3.0
+    assert hits.value(shard="b") == 1.0
+    assert hits.value(shard="zzz") == 0.0
+    assert hits.total() == 4.0
+
+
+def test_counter_rejects_decrease():
+    reg = Telemetry(enabled=True)
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1.0)
+
+
+def test_gauge_set_and_add():
+    reg = Telemetry(enabled=True)
+    depth = reg.gauge("queue_depth")
+    depth.set(7.0)
+    depth.add(-2.0)
+    assert depth.value() == 5.0
+    depth.set(1.5, worker="w0")
+    assert depth.value(worker="w0") == 1.5
+    assert depth.value() == 5.0
+
+
+def test_histogram_observe_counts_and_sum():
+    reg = Telemetry(enabled=True)
+    hist = reg.histogram("latency", buckets=(0.1, 1.0, 10.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    hist.observe(50.0)  # above every bound: only +Inf at export time
+    assert hist.count() == 4
+    assert hist.sum() == pytest.approx(55.55)
+    # bucket counts are cumulative: each bound counts observations <= it
+    (series,) = hist.series().values()
+    assert series["buckets"] == [1, 2, 3]
+
+
+def test_histogram_default_buckets_sorted():
+    reg = Telemetry(enabled=True)
+    hist = reg.histogram("h")
+    assert hist.buckets == tuple(sorted(DEFAULT_BUCKETS))
+    with pytest.raises(ValueError):
+        reg.histogram("empty", buckets=())
+
+
+def test_get_or_create_and_kind_mismatch():
+    reg = Telemetry(enabled=True)
+    first = reg.counter("n")
+    assert reg.counter("n") is first
+    with pytest.raises(ValueError):
+        reg.gauge("n")
+    with pytest.raises(ValueError):
+        reg.histogram("n")
+
+
+def test_disabled_registry_is_a_no_op():
+    reg = Telemetry(enabled=False)
+    counter = reg.counter("c")
+    gauge = reg.gauge("g")
+    hist = reg.histogram("h")
+    counter.inc(5.0)
+    gauge.set(9.0)
+    hist.observe(1.0)
+    assert counter.total() == 0.0
+    assert gauge.value() == 0.0
+    assert hist.count() == 0
+    # flipping enabled on the owner re-arms the same instrument objects
+    reg.enabled = True
+    counter.inc(5.0)
+    assert counter.total() == 5.0
+
+
+def test_instruments_are_name_sorted():
+    reg = Telemetry(enabled=True)
+    reg.counter("zeta")
+    reg.gauge("alpha")
+    reg.histogram("mid")
+    assert [i.name for i in reg.instruments()] == ["alpha", "mid", "zeta"]
+    assert isinstance(reg.get("alpha"), GaugeMetric)
+    assert isinstance(reg.get("zeta"), CounterMetric)
+    assert isinstance(reg.get("mid"), HistogramMetric)
+    assert reg.get("nope") is None
+
+
+def test_snapshot_shape():
+    reg = Telemetry(enabled=True)
+    reg.counter("hits", "cache hits").inc(shard="a")
+    snap = reg.snapshot()
+    assert snap["hits"]["kind"] == "counter"
+    assert snap["hits"]["help"] == "cache hits"
+    assert snap["hits"]["series"] == {"shard=a": 1.0}
+
+
+def test_reset_drops_instruments():
+    reg = Telemetry(enabled=True)
+    reg.counter("c").inc()
+    reg.reset()
+    assert reg.instruments() == []
+    assert reg.counter("c").total() == 0.0
+
+
+def test_global_registry_disabled_by_default():
+    assert telemetry() is telemetry()
+    previous = telemetry_enabled()
+    try:
+        assert enable_telemetry(False) is telemetry()
+        assert not telemetry_enabled()
+        enable_telemetry(True)
+        assert telemetry_enabled()
+    finally:
+        enable_telemetry(previous)

@@ -1,0 +1,166 @@
+"""ETA estimator (empty/partial/full history) and progress emitter."""
+
+import dataclasses
+import io
+import json
+
+import pytest
+
+from repro.observability.registry import RunRecord, RunRegistry
+from repro.observability.telemetry.progress import (
+    EtaEstimator,
+    ProgressEmitter,
+    _format_eta,
+)
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+# ---- EtaEstimator -------------------------------------------------------
+
+def test_eta_empty_history():
+    eta = EtaEstimator()
+    assert eta.estimate(0, 10, 0.0) is None       # nothing to go on
+    assert eta.estimate(5, 10, 10.0) == pytest.approx(10.0)  # pure rate
+    assert eta.estimate(10, 10, 20.0) == 0.0
+    assert eta.estimate(0, 0, 0.0) is None
+
+
+def test_eta_history_only_before_first_layer():
+    eta = EtaEstimator([10.0, 12.0, 11.0])
+    assert eta.estimate(0, 10, 0.0) == pytest.approx(11.0)  # median
+
+
+def test_eta_blends_history_and_rate():
+    eta = EtaEstimator([10.0])
+    # 2/10 done after 4s: rate says 16s left, history says 6s left;
+    # blended 0.2*16 + 0.8*6 = 8.0
+    assert eta.estimate(2, 10, 4.0) == pytest.approx(8.0)
+    # exhausted history clamps to 0, leaving only the rate share
+    assert eta.estimate(2, 10, 12.0) == pytest.approx(0.2 * 48.0)
+
+
+def test_eta_ignores_non_positive_history():
+    eta = EtaEstimator([0.0, -3.0, None, 7.0])
+    assert eta.history_wall_s == [7.0]
+
+
+def test_eta_from_registry(tmp_path):
+    with RunRegistry(tmp_path / "runs") as registry:
+        for wall in (10.0, 14.0):
+            registry.record(RunRecord.from_payload(
+                "model:squeezenet:b1", {}, wall_clock_s=wall,
+                config_hash="abc",
+            ))
+        # other hash, cached run, and missing wall-clock are all skipped
+        registry.record(RunRecord.from_payload(
+            "model:squeezenet:b1", {}, wall_clock_s=99.0, config_hash="zzz",
+        ))
+        cached = dataclasses.replace(
+            RunRecord.from_payload(
+                "model:squeezenet:b1", {}, wall_clock_s=50.0,
+                config_hash="abc",
+            ),
+            cached=True,
+        )
+        registry.record(cached)
+        registry.record(RunRecord.from_payload(
+            "model:squeezenet:b1", {}, config_hash="abc",
+        ))
+
+    eta = EtaEstimator.from_registry(
+        tmp_path / "runs", "model:squeezenet:b1", "abc"
+    )
+    assert sorted(eta.history_wall_s) == [10.0, 14.0]
+
+
+def test_eta_from_registry_degrades_on_corruption(tmp_path):
+    corrupt = tmp_path / "runs.sqlite3"
+    corrupt.write_text("this is not a database", encoding="utf-8")
+    eta = EtaEstimator.from_registry(corrupt, "w", "h")
+    assert eta.history_wall_s == []
+
+
+def test_format_eta():
+    assert _format_eta(None) == "--:--"
+    assert _format_eta(0.4) == "0:00"
+    assert _format_eta(75.0) == "1:15"
+    assert _format_eta(3725.0) == "1:02:05"
+
+
+# ---- ProgressEmitter ----------------------------------------------------
+
+def test_emitter_plain_stream_and_jsonl(tmp_path):
+    clock = _FakeClock()
+    stream = io.StringIO()
+    jsonl = tmp_path / "progress.jsonl"
+    emitter = ProgressEmitter(
+        "model:squeezenet:b1", total=2, stream=stream, live=True,
+        jsonl_path=jsonl, eta=EtaEstimator([8.0]), clock=clock,
+    )
+    emitter.model_start()
+    clock.now += 2.0
+    emitter.layer_done(0, "conv1", "conv", "simulated")
+    clock.now += 2.0
+    emitter.layer_done(1, "fire2", "conv", "cached")
+    emitter.model_end()
+
+    text = stream.getvalue()
+    # StringIO is not a TTY: --live degrades to plain lines, no \r codes
+    assert "\r" not in text
+    assert "[model:squeezenet:b1] simulating 2 layers" in text
+    assert "1/2 conv1 (simulated)" in text
+    assert "2/2 fire2 (cached)" in text
+    assert "done: 2/2 layers in 4.0s" in text
+
+    events = [
+        json.loads(line)
+        for line in jsonl.read_text(encoding="utf-8").splitlines()
+    ]
+    assert [e["event"] for e in events] == [
+        "model_start", "layer_done", "layer_done", "model_end"
+    ]
+    first = events[1]
+    assert first["layer"] == "conv1"
+    assert first["mode"] == "simulated"
+    assert first["done"] == 1 and first["total"] == 2
+    assert first["elapsed_s"] == pytest.approx(2.0)
+    # blended: 0.5*2.0 + 0.5*max(8-2,0) = 4.0
+    assert first["eta_s"] == pytest.approx(4.0)
+    assert events[2]["eta_s"] == 0.0
+    assert events[3]["elapsed_s"] == pytest.approx(4.0)
+
+
+class _TtyStream(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def test_emitter_tty_rewrites_one_line():
+    clock = _FakeClock()
+    stream = _TtyStream()
+    emitter = ProgressEmitter(
+        "w", total=2, stream=stream, live=True, clock=clock,
+    )
+    emitter.model_start()
+    emitter.layer_done(0, "a", "conv", "simulated")
+    emitter.layer_done(1, "b", "conv", "simulated")
+    emitter.model_end()
+    text = stream.getvalue()
+    assert text.count("\r") == 2
+    assert "simulating" not in text  # TTY mode skips the plain banner
+    assert text.rstrip().endswith("done: 2/2 layers in 0.0s")
+
+
+def test_emitter_without_stream_only_counts(tmp_path):
+    emitter = ProgressEmitter("w", total=3)
+    emitter.model_start()
+    emitter.layer_done(0, "a", "conv", "simulated")
+    emitter.close()
+    assert emitter.done == 1
