@@ -1,8 +1,8 @@
 # Convenience targets for the STONNE reproduction.
 
 .PHONY: install test bench report examples validate trace-smoke \
-	sentinel-smoke telemetry-smoke differential bench-parallel lint \
-	typecheck all clean
+	sentinel-smoke telemetry-smoke differential differential-vector \
+	coverage bench-parallel lint typecheck all clean
 
 install:
 	pip install -e .
@@ -26,6 +26,18 @@ bench:
 # serial vs parallel vs cached execution must be byte-identical
 differential:
 	pytest tests/differential/ --jobs 4 -q
+
+# cycle-stepped reference vs closed-form vector engine, byte for byte
+differential-vector:
+	pytest tests/differential/test_vector_equivalence.py \
+		tests/unit/test_vector_golden.py -q
+
+# line-coverage gate; skips gracefully when pytest-cov is absent
+coverage:
+	@PYTHONPATH=src python -c "import pytest_cov" 2>/dev/null \
+		&& PYTHONPATH=src python -m pytest -q --cov=repro \
+			--cov-report=term --cov-report=xml --cov-fail-under=85 \
+		|| echo "pytest-cov not installed; skipping coverage (CI runs it)"
 
 # three-way full-model sweep; writes BENCH_parallel.json at the repo root
 bench-parallel:

@@ -20,6 +20,7 @@ from repro.config.hardware import (
     DataType,
     DistributionKind,
     DramConfig,
+    EngineMode,
     HardwareConfig,
     MultiplierKind,
     ReductionKind,
@@ -51,6 +52,7 @@ __all__ = [
     "DataType",
     "DistributionKind",
     "DramConfig",
+    "EngineMode",
     "GemmSpec",
     "HardwareConfig",
     "LayerKind",

@@ -87,6 +87,31 @@ class Dataflow(enum.Enum):
     INPUT_STATIONARY = "IS"
 
 
+class EngineMode(enum.Enum):
+    """How the dense hot paths advance simulated time.
+
+    - ``CYCLE`` — the cycle-stepped reference implementation everywhere.
+    - ``VECTOR`` — the closed-form/batched kernels of
+      :mod:`repro.engine.vector` on every eligible dense path;
+      data-dependent paths (SpMM, SNAPEA) always stay cycle-stepped, and
+      metrics sampling forces the stepped walk in any mode (samples
+      snapshot intermediate counter state only the walk produces).
+    - ``AUTO`` — like ``VECTOR``, but additionally falls back to the
+      reference whenever event tracing is active (vector mode replays
+      trace spans closed-form; auto conservatively treats the reference
+      as the instrumentation ground truth).
+
+    Every mode produces byte-identical simulation reports; the
+    differential suite (``tests/differential/test_vector_equivalence.py``)
+    pins that equivalence. The environment variable ``STONNE_ENGINE_MODE``
+    overrides the configured mode at dispatch time.
+    """
+
+    CYCLE = "cycle"
+    VECTOR = "vector"
+    AUTO = "auto"
+
+
 class SparseFormat(enum.Enum):
     """Compression formats accepted by the sparse controller."""
 
@@ -161,6 +186,7 @@ class HardwareConfig:
     dn_fifo_depth: int = 4
     rn_fifo_depth: int = 2
     accumulation_buffer: bool = True
+    engine_mode: EngineMode = EngineMode.AUTO
     clock_ghz: float = 1.0
     technology_nm: int = 28
     dram: DramConfig = field(default_factory=DramConfig)
@@ -262,6 +288,7 @@ def save_config(config: HardwareConfig, path: Union[str, Path]) -> None:
         "clock_ghz": str(config.clock_ghz),
         "technology_nm": str(config.technology_nm),
         "dataflow": config.dataflow.value,
+        "engine_mode": config.engine_mode.value,
     }
     parser[_SECTION_MS] = {
         "type": config.multiplier.value,
@@ -338,6 +365,11 @@ def parse_config(text: str) -> HardwareConfig:
         )
         kwargs["dataflow"] = _enum_by_value(
             Dataflow, read(_SECTION_GENERAL, "dataflow", defaults.dataflow.value), "dataflow"
+        )
+        kwargs["engine_mode"] = _enum_by_value(
+            EngineMode,
+            read(_SECTION_GENERAL, "engine_mode", defaults.engine_mode.value),
+            "engine mode",
         )
         kwargs["multiplier"] = _enum_by_value(
             MultiplierKind, read(_SECTION_MS, "type", defaults.multiplier.value), "MN type"

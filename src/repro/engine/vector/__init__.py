@@ -1,0 +1,45 @@
+"""Closed-form / batched kernels for the dense hot paths.
+
+The cycle-stepped engines (:mod:`repro.engine.systolic`,
+:mod:`repro.memory.dense_controller` over the DN/MN/RN fabrics) walk
+deterministic schedules: every tile, steady-phase step and drain has a
+cost that is a pure function of the geometry and the hardware
+parameters. This package collapses those walks into batched arithmetic —
+tile-class aggregation for the systolic array, segment-table aggregation
+for the dense controller — producing the **exact same** cycles,
+``KNOWN_COUNTERS`` values, energy and trace-visible phase boundaries as
+the reference, which stays in place as the oracle.
+
+Selection is governed by :attr:`HardwareConfig.engine_mode`
+(``cycle`` / ``vector`` / ``auto``) plus the ``STONNE_ENGINE_MODE``
+environment override; the dispatch predicate lives in
+:mod:`repro.engine.vector.predicate`. Data-dependent timing — SpMM, the
+sparse fabrics, SNAPEA early termination — never routes here, mirroring
+the :class:`repro.parallel.SimCache` refusal predicate.
+
+Equivalence is enforced, not assumed: the Hypothesis differential suite
+(``tests/differential/test_vector_equivalence.py``) pins byte-identical
+report payloads between modes, and ``tests/unit/test_vector_golden.py``
+pins hand-computed cycle/counter tables so a regression points at the
+exact formula. See ``docs/VECTOR_ENGINE.md`` for the per-component
+equivalence argument and the recipe for adding a new kernel.
+"""
+
+from repro.engine.vector.dense import run_layer_closed_form
+from repro.engine.vector.predicate import (
+    ENGINE_MODE_ENV,
+    resolve_engine_mode,
+    use_vector_kernels,
+    vector_eligible,
+)
+from repro.engine.vector.systolic import run_gemm_closed_form, tile_classes
+
+__all__ = [
+    "ENGINE_MODE_ENV",
+    "resolve_engine_mode",
+    "run_gemm_closed_form",
+    "run_layer_closed_form",
+    "tile_classes",
+    "use_vector_kernels",
+    "vector_eligible",
+]

@@ -1,0 +1,247 @@
+"""Batched dense-controller kernel (the vector twin of
+:meth:`repro.memory.dense_controller.DenseController._run`).
+
+The reference controller is already phase-batched: a layer is at most
+four steady-phase *(step cost, repeats)* segments plus the stationary
+weight loads, and each segment is accounted through the live DN queue
+(``enqueue`` → ``_scale_last_delivery`` → ``skip_cycles``). This kernel
+collapses that remaining sequencing into pure arithmetic over the
+segment table.
+
+Equivalence argument, per piece of the reference:
+
+- **plan** — :meth:`DenseController._plan` is invoked verbatim (it is
+  pure decision logic plus the ``mn/rn_reconfigurations`` counters and
+  the fabric-mapping validation), so loop ordering, step costs and any
+  :class:`MappingError` are shared code.
+- **DN queue** — within one segment the reference enqueues
+  ``slots * repeats`` bandwidth slots and then skips
+  ``step_cycles * repeats`` cycles. ``step_cycles >= delivery_cycles =
+  ceil(slots / bandwidth)`` by construction of :meth:`_step_cycles`, so
+  ``skip`` always fully drains the queue: the busy count collapses to
+  ``min(step_cycles * repeats, ceil(slots * repeats / bandwidth))`` and
+  segments never interact through leftover pending work. Weight loads
+  drain identically (``w_cycles = ceil(w_slots / bandwidth)``).
+- **counters** — every ``record_*``/``counters.add`` in the reference is
+  a pure sum (zero increments are dropped in both paths), so per-segment
+  amounts aggregate to repeat-weighted totals; :class:`CounterSet`
+  serializes sorted, making add order unobservable.
+- **DRAM** — :meth:`_account_dram` runs verbatim with identical
+  arguments, so bytes, row-buffer state and stalls are shared code.
+- **trace spans** — the reference emits four fixed spans per segment
+  plus setup/weight-load/drain/stall spans, all with closed-form
+  boundaries; the kernel emits the identical sequence. Metrics sampling
+  never reaches this kernel (see :mod:`repro.engine.vector.predicate`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.config.layer import ConvLayerSpec
+from repro.config.tile import TileConfig
+from repro.memory.dense_controller import (
+    LAYER_SETUP_CYCLES,
+    DenseController,
+    DenseRunResult,
+    _StepCost,
+)
+from repro.observability.telemetry.scopes import component_scope
+
+
+def _account_weight_loads_batched(
+    ctrl: DenseController,
+    unique: int,
+    destinations: int,
+    w_cycles: int,
+    loads: int,
+) -> int:
+    """Batched :meth:`DenseController._account_weight_loads`."""
+    if loads <= 0:
+        return 0
+    dn = ctrl.dn
+    dn._validate(unique, destinations)
+    slots = dn._bandwidth_slots(unique, destinations)
+    dn.counters.add(
+        "dn_switch_traversals",
+        dn._switch_traversals(unique, destinations) * loads,
+    )
+    dn.counters.add(
+        "dn_wire_traversals",
+        dn._wire_traversals(unique, destinations) * loads,
+    )
+    dn.counters.add("dn_elements_sent", unique * loads)
+    # the queue fully drains (w_cycles covers one load's slots), so the
+    # busy count is the drained-queue closed form
+    dn.counters.add(
+        "dn_busy_cycles",
+        min(w_cycles * loads, math.ceil(slots * loads / dn.bandwidth)),
+    )
+    dn._current_cycle += w_cycles * loads
+    ctrl.gb.record_reads(unique * loads)
+    return w_cycles * loads
+
+
+def _account_segments_batched(
+    ctrl: DenseController,
+    cs: int,
+    nc: int,
+    segments: List[Tuple[_StepCost, int, int]],
+) -> None:
+    """Batched :meth:`DenseController._account_steps` over all segments."""
+    dn, mn, rn, gb = ctrl.dn, ctrl.mn, ctrl.rn, ctrl.gb
+    switch = wire = elements = busy = dn_cycles = 0
+    gb_reads = fifo_pushes = fifo_pops = 0
+    steps = forwarded = 0
+    psum_injection_steps = accumulation_steps = 0
+    psum_writebacks = outputs_completed = 0
+    for cost, repeats, step_cycles in segments:
+        slots = max(cost.dn_slots, 1)
+        dests = max(cost.destinations, 1)
+        dn._validate(slots, dests)
+        switch += dn._switch_traversals(slots, dests) * repeats
+        wire += dn._wire_traversals(slots, dests) * repeats
+        elements += slots * repeats
+        bw_slots = dn._bandwidth_slots(slots, dests)
+        busy += min(
+            step_cycles * repeats,
+            math.ceil(bw_slots * repeats / dn.bandwidth),
+        )
+        dn_cycles += step_cycles * repeats
+        gb_reads += (cost.unique_values + cost.weight_unique) * repeats
+        fifo_pushes += cost.dn_slots * repeats
+        fifo_pops += (
+            cost.outputs_completed + cost.psum_writebacks
+        ) * repeats
+        steps += repeats
+        forwarded += cost.forwarded * repeats
+        if cost.psum_writebacks:
+            psum_injection_steps += repeats
+            psum_writebacks += cost.psum_writebacks * repeats
+        elif rn.has_accumulators:
+            accumulation_steps += repeats
+        outputs_completed += cost.outputs_completed * repeats
+
+    dn.counters.add("dn_switch_traversals", switch)
+    dn.counters.add("dn_wire_traversals", wire)
+    dn.counters.add("dn_elements_sent", elements)
+    dn.counters.add("dn_busy_cycles", busy)
+    dn._current_cycle += dn_cycles
+    gb.record_reads(gb_reads)
+    # tier-boundary FIFO activity (GB->DN staging, RN->GB drain)
+    ctrl.counters.add("ctrl_fifo_pushes", fifo_pushes)
+    ctrl.counters.add("ctrl_fifo_pops", fifo_pops)
+    mn.record_multiplications(cs * nc * steps)
+    if forwarded:
+        mn.record_forwarding(forwarded)
+    with ctrl.obs.profiler.phase("reduce"), component_scope("noc.reduction"):
+        rn.counters.add(rn.adder_counter, steps * nc * max(0, cs - 1))
+        rn.counters.add("rn_wire_traversals", steps * nc * (2 * cs - 1))
+        if psum_injection_steps:
+            mn.record_psum_injections(nc * psum_injection_steps)
+        if psum_writebacks:
+            rn.record_outputs(psum_writebacks)
+            gb.record_writes(psum_writebacks)
+        if accumulation_steps:
+            rn.record_accumulations(nc * accumulation_steps)
+        if outputs_completed:
+            rn.record_outputs(outputs_completed)
+            gb.record_writes(outputs_completed)
+
+
+def run_layer_closed_form(
+    ctrl: DenseController, layer: ConvLayerSpec, tile: TileConfig
+) -> DenseRunResult:
+    """Simulate one dense layer with segment-aggregated accounting."""
+    obs = ctrl.obs
+    prof = obs.profiler
+    with prof.phase("map"):
+        plan_state = ctrl._plan(layer, tile)
+    (cs, tile, plan, weight_loads, w_unique, w_dests, w_cycles,
+     total_steps) = plan_state
+
+    tracer = obs.tracer
+    base = obs.base
+    ctrl.counters.add("ctrl_layers_run", 1)
+    cycles = LAYER_SETUP_CYCLES
+    if tracer.enabled:
+        tracer.span("CTRL:setup", ctrl.name, base, base + cycles)
+
+    with prof.phase("distribute"), component_scope("noc.distribution"):
+        load_cycles = _account_weight_loads_batched(
+            ctrl, w_unique, w_dests, w_cycles, weight_loads
+        )
+    if tracer.enabled and load_cycles:
+        tracer.span(
+            "DN:weight-load", ctrl.dn.name, base + cycles,
+            base + cycles + load_cycles,
+            unique=w_unique, loads=weight_loads,
+        )
+    cycles += load_cycles
+
+    stall_cycles = 0
+    with prof.phase("compute"), component_scope("engine.vector"):
+        segments = [
+            (cost, repeats, ctrl._step_cycles(cost, cs))
+            for cost, repeats in plan if repeats > 0
+        ]
+        for cost, repeats, step_cycles in segments:
+            segment = step_cycles * repeats
+            if tracer.enabled:
+                start, end = base + cycles, base + cycles + segment
+                stall = max(0, step_cycles - 1) * repeats
+                tracer.span(
+                    "DN:deliver", ctrl.dn.name, start, end,
+                    steps=repeats, slots_per_step=cost.dn_slots,
+                    stall_cycles=stall,
+                )
+                tracer.span(
+                    "MN:multiply", ctrl.mn.name, start, end,
+                    multiplications=cs * tile.num_clusters * repeats,
+                    forwarded=cost.forwarded * repeats,
+                )
+                tracer.span(
+                    "RN:reduce", ctrl.rn.name, start, end,
+                    outputs=cost.outputs_completed * repeats,
+                    psum_writebacks=cost.psum_writebacks * repeats,
+                )
+            cycles += segment
+            stall_cycles += max(0, step_cycles - 1) * repeats
+        _account_segments_batched(ctrl, cs, tile.num_clusters, segments)
+
+    with prof.phase("drain"):
+        # Pipeline fill/drain: one DN traversal, the multiply stage and
+        # the deepest reduction still in flight at the end of the run.
+        drain = (
+            ctrl.dn.pipeline_latency + 1 + ctrl.rn.reduction_latency(cs)
+        )
+        if tracer.enabled:
+            tracer.span(
+                "CTRL:pipeline-drain", ctrl.name, base + cycles,
+                base + cycles + drain,
+            )
+        cycles += drain
+
+        macs = layer.num_macs
+        outputs = layer.num_outputs
+        dram_stall = ctrl._account_dram(layer, cycles)
+        if tracer.enabled and dram_stall:
+            tracer.span(
+                "DRAM:stall", ctrl.dram.name, base + cycles,
+                base + cycles + dram_stall,
+            )
+        cycles += dram_stall
+
+    utilization = macs / (ctrl.mn.num_ms * cycles) if cycles else 0.0
+    ctrl._current_cycle += cycles
+    ctrl.counters.add("ctrl_cycles", cycles)
+    return DenseRunResult(
+        cycles=cycles,
+        macs=macs,
+        outputs=outputs,
+        steps=total_steps,
+        stall_cycles=stall_cycles,
+        dram_stall_cycles=dram_stall,
+        multiplier_utilization=utilization,
+    )

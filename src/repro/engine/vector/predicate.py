@@ -1,0 +1,102 @@
+"""Engine-mode resolution and the vector-kernel dispatch predicate.
+
+The dense hot paths of the simulator exist twice:
+
+- the **cycle-stepped reference** — :class:`repro.engine.systolic.SystolicEngine`
+  walking every tile and :class:`repro.memory.dense_controller.DenseController`
+  walking every steady-phase segment, accounting activity as it goes; and
+- the **closed-form kernels** of :mod:`repro.engine.vector` — the same
+  deterministic schedule collapsed into batched arithmetic.
+
+Both produce byte-identical reports (``tests/differential/
+test_vector_equivalence.py`` pins this), so picking between them is purely
+a host-speed decision. This module owns that decision:
+
+- :func:`resolve_engine_mode` applies the ``STONNE_ENGINE_MODE``
+  environment override on top of :attr:`HardwareConfig.engine_mode`;
+- :func:`use_vector_kernels` is the dispatch predicate the engines call
+  once per layer/GEMM;
+- :func:`vector_eligible` mirrors the :class:`repro.parallel.SimCache`
+  refusal predicate for workload-level checks: anything whose timing is
+  data dependent (SpMM, sparse fabrics, SNAPEA early termination) must
+  stay on the stepped path, exactly as it must stay out of the cache.
+
+Observability interacts with the choice in one fundamental way: metrics
+sampling (:meth:`Observability.sample`) snapshots the *live* counter file
+at every tile/step boundary. Reproducing those intermediate counter
+states byte-for-byte requires stepping through the boundaries with the
+counters mutating along the way, so whenever a metrics recorder is
+attached the reference path runs regardless of mode. Event tracing does
+not have this problem — span boundaries are closed-form functions of the
+schedule, so ``vector`` mode replays them exactly without per-tile
+accounting — but ``auto`` (the default) conservatively falls back to the
+reference whenever tracing or sampling is active.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any
+
+from repro.config.hardware import EngineMode, HardwareConfig
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.observability.context import Observability
+
+#: environment variable overriding the configured engine mode at dispatch
+#: time (used by the CI matrix leg that re-runs tier-1 under ``vector``)
+ENGINE_MODE_ENV = "STONNE_ENGINE_MODE"
+
+
+def resolve_engine_mode(config: HardwareConfig) -> EngineMode:
+    """The effective engine mode: ``STONNE_ENGINE_MODE`` over the config."""
+    raw = os.environ.get(ENGINE_MODE_ENV)
+    if not raw:
+        return config.engine_mode
+    try:
+        return EngineMode(raw.strip().lower())
+    except ValueError:
+        valid = ", ".join(mode.value for mode in EngineMode)
+        raise ConfigurationError(
+            f"{ENGINE_MODE_ENV}={raw!r} is not a valid engine mode "
+            f"(expected one of: {valid})"
+        ) from None
+
+
+def use_vector_kernels(config: HardwareConfig, obs: "Observability") -> bool:
+    """Whether this layer should run on the closed-form kernels.
+
+    Called by :meth:`SystolicEngine.run_gemm` and
+    :meth:`DenseController._run` — i.e. only ever on paths whose timing is
+    already value-independent (the sparse controller and the SNAPEA
+    context never consult it, so data-dependent timing always steps).
+    """
+    mode = resolve_engine_mode(config)
+    if mode is EngineMode.CYCLE:
+        return False
+    if config.is_sparse:
+        # unreachable from the dense engines, but keep the predicate safe
+        # for external callers: sparse timing is data dependent
+        return False
+    if obs.metrics is not None:
+        # metrics samples snapshot intermediate counter state at every
+        # tile/step boundary; only the stepped walk reproduces them
+        return False
+    if mode is EngineMode.AUTO and obs.tracer.enabled:
+        # vector mode replays trace spans closed-form; auto plays it safe
+        return False
+    return True
+
+
+def vector_eligible(workload: Any, config: HardwareConfig) -> bool:
+    """Workload-level eligibility: the SimCache refusal predicate.
+
+    A (workload, config) pair can run on the vector kernels exactly when
+    its timing is value independent — the same property that makes it
+    cacheable. Delegates to :func:`repro.parallel.cache.cacheable` so the
+    two predicates can never drift apart.
+    """
+    from repro.parallel.cache import cacheable
+
+    return cacheable(workload, config)

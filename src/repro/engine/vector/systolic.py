@@ -1,0 +1,200 @@
+"""Closed-form systolic-array kernel (the vector twin of
+:meth:`repro.engine.systolic.SystolicEngine.run_gemm`).
+
+The reference engine walks every ``dim x dim`` tile of the GEMM in a
+Python loop, charging cycles and activity per tile. That schedule is
+fully regular, which makes it collapsible: along each axis a tile is
+either *full* (``dim`` wide) or the single *remainder* tile, so the whole
+tile grid partitions into at most four *(shape, count)* classes and every
+per-tile quantity — being a function of the tile shape alone — aggregates
+to a count-weighted sum over those classes.
+
+Equivalence argument, per output of the reference loop:
+
+- **cycles** — ``tile_cycles`` depends only on the tile shape, so the sum
+  over tiles equals ``sum(count * tile_cycles(shape))`` over classes. The
+  kernel calls :meth:`SystolicEngine.tile_cycles` itself (once per class),
+  so there is a single source of truth for the wavefront formula and the
+  reference's validation errors (``k < 1``, stream dimension ``< 1``)
+  raise identically.
+- **counters** — ``_account_tile(tm, k, tn)`` adds five per-tile amounts,
+  each polynomial in the tile shape; :class:`CounterSet` iterates and
+  serializes sorted, so only per-name totals are observable and the
+  class-weighted sums are byte-equivalent. Zero increments are no-ops in
+  both paths (``CounterSet.add`` drops them).
+- **GB / DRAM** — ``gb.record_reads``/``record_writes`` are pure counter
+  sums (aggregated the same way); ``_account_dram`` is invoked verbatim —
+  once per GEMM in both paths, with identical arguments — so DRAM bytes,
+  row-buffer state and the stall computation are shared code.
+- **trace spans** — span boundaries are prefix sums of the per-tile
+  cycle counts, a closed-form function of the schedule; with a tracer
+  attached the kernel replays the exact tile order emitting `PE:tile`
+  spans with the same arguments (no counter accounting in the replay).
+  Metrics sampling never reaches this kernel — the dispatch predicate
+  routes sampled runs to the reference walk (see
+  :mod:`repro.engine.vector.predicate`).
+- **functional output** — the engines' numeric product is timing
+  irrelevant (the accelerator layers report the functional-path output);
+  the kernel computes one whole ``a @ b`` exactly as the reference
+  weight-stationary path does, instead of the output-stationary path's
+  per-tile block writes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.engine.systolic import (
+    LAYER_SETUP_CYCLES,
+    SystolicEngine,
+    SystolicRunResult,
+)
+from repro.errors import ConfigurationError
+from repro.observability.telemetry.scopes import component_scope
+
+
+def _axis_classes(extent: int, dim: int) -> List[Tuple[int, int]]:
+    """``(tile_extent, tile_count)`` classes of one tiled axis."""
+    full, rem = divmod(extent, dim)
+    classes = []
+    if full:
+        classes.append((dim, full))
+    if rem:
+        classes.append((rem, 1))
+    return classes
+
+
+def tile_classes(
+    engine: SystolicEngine, m: int, k: int, n: int
+) -> List[Tuple[int, int, int, int]]:
+    """The ``(tm, k, tn, count)`` classes of the engine's tile grid.
+
+    The triple matches the reference's ``_account_tile(tm, k, tn)``
+    argument order: output-stationary tiles partition ``(m, n)`` with the
+    full reduction ``k`` streaming; weight-stationary tiles partition
+    ``(k, n)`` with the full ``m`` activation rows streaming.
+    """
+    dim = engine.dim
+    if engine.weight_stationary:
+        return [
+            (m, tk, tn, ck * cn)
+            for tk, ck in _axis_classes(k, dim)
+            for tn, cn in _axis_classes(n, dim)
+        ]
+    return [
+        (tm, k, tn, cm * cn)
+        for tm, cm in _axis_classes(m, dim)
+        for tn, cn in _axis_classes(n, dim)
+    ]
+
+
+def _replay_tile_spans(
+    engine: SystolicEngine, m: int, k: int, n: int, base: int
+) -> int:
+    """Emit the reference loop's ``PE:tile`` spans; returns end cycle."""
+    tracer = engine.obs.tracer
+    dim = engine.dim
+    cycles = LAYER_SETUP_CYCLES
+    if engine.weight_stationary:
+        for ki in range(math.ceil(k / dim)):
+            tk = min(dim, k - ki * dim)
+            for ni in range(math.ceil(n / dim)):
+                tn = min(dim, n - ni * dim)
+                tile = engine.tile_cycles(m, tk, tn)
+                tracer.span(
+                    "PE:tile", engine.name, base + cycles,
+                    base + cycles + tile,
+                    m=m, k=tk, n=tn, macs=m * tk * tn,
+                )
+                cycles += tile
+    else:
+        for mi in range(math.ceil(m / dim)):
+            tm = min(dim, m - mi * dim)
+            for ni in range(math.ceil(n / dim)):
+                tn = min(dim, n - ni * dim)
+                tile = engine.tile_cycles(tm, k, tn)
+                tracer.span(
+                    "PE:tile", engine.name, base + cycles,
+                    base + cycles + tile,
+                    m=tm, k=k, n=tn, macs=tm * k * tn,
+                )
+                cycles += tile
+    return cycles
+
+
+def run_gemm_closed_form(
+    engine: SystolicEngine, a: np.ndarray, b: np.ndarray
+) -> Tuple[np.ndarray, SystolicRunResult]:
+    """Execute ``a @ b`` with class-aggregated tile accounting."""
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ConfigurationError(
+            f"incompatible GEMM operands {a.shape} @ {b.shape}"
+        )
+    m, k = a.shape
+    _, n = b.shape
+
+    obs = engine.obs
+    tracer = obs.tracer
+    base = obs.base
+    with obs.profiler.phase("compute"), component_scope("engine.vector"):
+        out = a @ b
+        classes = tile_classes(engine, m, k, n)
+        # per-class cycle counts via the reference formula (also performs
+        # the reference's tile validation, raising the same MappingError)
+        per_tile = np.array(
+            [engine.tile_cycles(tm, tk, tn) for tm, tk, tn, _ in classes],
+            dtype=np.int64,
+        )
+        tm_ = np.array([c[0] for c in classes], dtype=np.int64)
+        tk_ = np.array([c[1] for c in classes], dtype=np.int64)
+        tn_ = np.array([c[2] for c in classes], dtype=np.int64)
+        cnt = np.array([c[3] for c in classes], dtype=np.int64)
+
+        tiles = int(cnt.sum())
+        cycles = LAYER_SETUP_CYCLES + int((cnt * per_tile).sum())
+        macs = int((cnt * tm_ * tk_ * tn_).sum())
+        # operands hop PE-to-PE: each A value crosses tn PEs, each B value tm
+        hops = int(
+            (cnt * (tm_ * tk_ * (tn_ - 1) + tk_ * tn_ * (tm_ - 1))).sum()
+        )
+        outputs_written = int((cnt * tm_ * tn_).sum())
+        # GB feeds the array edges once per tile; the same expression is
+        # both the DN wire count and the GB read count in the reference
+        edge_feeds = int((cnt * (tm_ * tk_ + tk_ * tn_)).sum())
+
+        counters = engine.counters
+        counters.add("mn_multiplications", macs)
+        counters.add("mn_forwarding_hops", hops)
+        counters.add("rn_accumulator_ops", macs)
+        counters.add("rn_outputs_written", outputs_written)
+        counters.add("dn_wire_traversals", edge_feeds)
+        engine.gb.record_reads(edge_feeds)
+        engine.gb.record_writes(outputs_written)
+
+        if tracer.enabled:
+            _replay_tile_spans(engine, m, k, n, base)
+
+    with obs.profiler.phase("drain"):
+        dram_stall = engine._account_dram(m, k, n, cycles)
+        if tracer.enabled and dram_stall:
+            tracer.span(
+                "DRAM:stall", engine.dram.name, base + cycles,
+                base + cycles + dram_stall,
+            )
+        cycles += dram_stall
+    engine._current_cycle += cycles
+    engine.counters.add("ctrl_cycles", cycles)
+    utilization = macs / (engine.config.num_ms * cycles) if cycles else 0.0
+    return out, SystolicRunResult(
+        cycles=cycles,
+        macs=macs,
+        outputs=m * n,
+        tiles=tiles,
+        multiplier_utilization=utilization,
+        dram_stall_cycles=dram_stall,
+    )

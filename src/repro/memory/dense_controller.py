@@ -143,6 +143,12 @@ class DenseController(ClockedComponent):
     # the timing engine
     # ------------------------------------------------------------------
     def _run(self, layer: ConvLayerSpec, tile: TileConfig) -> DenseRunResult:
+        from repro.engine.vector.predicate import use_vector_kernels
+
+        if use_vector_kernels(self.config, self.obs):
+            from repro.engine.vector.dense import run_layer_closed_form
+
+            return run_layer_closed_form(self, layer, tile)
         obs = self.obs
         prof = obs.profiler
         with prof.phase("map"):

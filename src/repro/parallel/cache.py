@@ -47,8 +47,9 @@ from repro.observability.telemetry.facade import telemetry
 from repro.parallel.workload import DATA_DEPENDENT_KINDS, LayerWorkload
 
 #: bump when the key layout or the stored payload schema changes — old
-#: on-disk entries become unreachable automatically
-CACHE_SCHEMA_VERSION = 1
+#: on-disk entries become unreachable automatically (v2: HardwareConfig
+#: grew ``engine_mode``, which flows into the config hash)
+CACHE_SCHEMA_VERSION = 2
 
 #: params that describe the *mapping*, per kind — anything else a
 #: workload carries (round_builder objects, flags) is not part of the key
@@ -85,6 +86,11 @@ KEY_COVERED_FIELDS = {
         "dn_fifo_depth": "via config_hash",
         "rn_fifo_depth": "via config_hash",
         "accumulation_buffer": "via config_hash",
+        "engine_mode": (
+            "via config_hash (over-keys on purpose: modes are proven "
+            "byte-identical, but a cached cycle-mode entry must never "
+            "mask a vector-kernel regression)"
+        ),
         "clock_ghz": "via config_hash",
         "technology_nm": "via config_hash",
         "dram": "via config_hash (asdict recurses into DramConfig)",

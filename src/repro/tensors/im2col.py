@@ -49,11 +49,14 @@ def im2col(
     n, c, x, y = activations.shape
     x_out, y_out = conv2d_output_shape(x, y, r, s, stride, padding)
     if padding:
-        activations = np.pad(
-            activations,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
+        # hot path: an explicit zero canvas is several times faster than
+        # np.pad and produces the identical array
+        padded = np.zeros(
+            (n, c, x + 2 * padding, y + 2 * padding),
+            dtype=activations.dtype,
         )
+        padded[:, :, padding:-padding, padding:-padding] = activations
+        activations = padded
 
     # Gather all windows with stride tricks, then reorder to (C*R*S, N*XO*YO).
     strides = activations.strides

@@ -76,3 +76,20 @@ def test_new_hardware_field_must_be_accounted_for(tmp_path):
     ]
     assert len(hits) == 1
     assert hits[0].path.endswith("repro/config/hardware.py")
+
+
+def test_engine_mode_manifest_entry_is_load_bearing(tmp_path):
+    """``engine_mode`` flows into the config hash; dropping its manifest
+    decision must re-open the CACHE-KEY-FIELD finding."""
+    _copy_real_tree(tmp_path)
+    cache = tmp_path / "repro" / "parallel" / "cache.py"
+    text = cache.read_text(encoding="utf-8")
+    start = text.index('"engine_mode": (')
+    end = text.index("),", start) + len("),\n")
+    cache.write_text(text[:start] + text[end:], encoding="utf-8")
+    result = run_lint([tmp_path], select=["CACHE-KEY"])
+    hits = [
+        f for f in result.findings
+        if f.rule == "CACHE-KEY-FIELD" and "engine_mode" in f.message
+    ]
+    assert len(hits) == 1

@@ -66,3 +66,14 @@ def test_stdlib_random_and_from_imports_flagged(tmp_path):
 def test_seeded_generators_are_clean():
     result = run_lint([FIXTURES / "clean"], select=["DET"])
     assert result.findings == []
+
+
+def test_vector_engine_package_is_deterministic():
+    """The closed-form kernels must stay free of wall-clock and RNG use:
+    they replace a deterministic schedule and are cache-key relevant."""
+    vector_pkg = (
+        Path(__file__).resolve().parents[2] / "src" / "repro"
+        / "engine" / "vector"
+    )
+    result = run_lint([vector_pkg], select=["DET"])
+    assert result.findings == []

@@ -45,3 +45,78 @@ def test_rt_requires_power_of_two_clusters():
     mapper = Mapper(config)
     with pytest.raises(MappingError, match="power-of-two"):
         mapper.tile_for_conv(LAYER, TileConfig(t_r=3, t_s=3))
+
+
+def test_auto_tile_is_deterministic():
+    """Same layer + fabric twice -> field-identical tiles (cache safety)."""
+    first = Mapper(maeri_like(64, 16)).tile_for_conv(LAYER)
+    second = Mapper(maeri_like(64, 16)).tile_for_conv(LAYER)
+    assert (first.t_r, first.t_s, first.t_c, first.t_g, first.t_k,
+            first.t_n, first.t_x, first.t_y) == \
+           (second.t_r, second.t_s, second.t_c, second.t_g, second.t_k,
+            second.t_n, second.t_x, second.t_y)
+
+
+def test_rt_auto_tile_has_power_of_two_clusters():
+    """With a plain reduction tree the generator itself must pick a
+    power-of-two cluster, not rely on the validator to reject."""
+    mapper = Mapper(maeri_like(64, 16, reduction=ReductionKind.RT))
+    tile = mapper.tile_for_conv(LAYER)
+    size = tile.cluster_size
+    assert size >= 1 and (size & (size - 1)) == 0
+    assert tile.multipliers_used <= 64
+
+
+def test_window_larger_than_fabric_slices_rows():
+    """Degenerate case: one receptive field exceeds the fabric; the
+    mapper must fold the window itself rather than fail."""
+    layer = ConvLayerSpec(r=7, s=7, c=1, k=1, x=9, y=9)
+    mapper = Mapper(maeri_like(8, 4))
+    tile = mapper.tile_for_conv(layer)
+    assert tile.multipliers_used <= 8
+    assert tile.t_r * tile.t_s <= 8
+
+
+def test_prime_channel_count_takes_ragged_slice():
+    """When channels are the only parallelism and C is prime, the mapper
+    must take the ragged largest-fit slice instead of collapsing to
+    t_c=1 (13 channels on 8 MSs: 2 ragged folds beat 13 serial ones)."""
+    layer = ConvLayerSpec(r=1, s=1, c=13, k=1, x=1, y=1)
+    mapper = Mapper(maeri_like(8, 4))
+    tile = mapper.tile_for_conv(layer)
+    assert tile.multipliers_used <= 8
+    assert tile.t_c == 8
+    assert tile.folds_for(layer) == 2
+
+
+def test_grouped_layer_tile_respects_groups():
+    layer = ConvLayerSpec(r=3, s=3, c=4, k=8, x=8, y=8, g=4)
+    mapper = Mapper(maeri_like(64, 16))
+    tile = mapper.tile_for_conv(layer)
+    assert tile.t_g <= 4
+    assert tile.multipliers_used <= 64
+
+
+def test_gemm_tile_maps_reduction_to_cluster():
+    """GEMM tiling folds the whole (r,s,c) window into t_c so the
+    cluster is the dot-product slice."""
+    mapper = Mapper(maeri_like(64, 16))
+    tile = mapper.tile_for_gemm(GemmSpec(m=8, n=32, k=24))
+    assert tile.t_r == tile.t_s == 1
+    assert tile.cluster_size == tile.t_c
+    assert tile.multipliers_used <= 64
+
+
+def test_gemm_tile_on_empty_fabric_rejected():
+    from repro.config.tile import generate_gemm_tile
+
+    with pytest.raises(MappingError, match="empty fabric"):
+        generate_gemm_tile(GemmSpec(m=2, n=2, k=2), num_ms=0)
+
+
+def test_oversized_explicit_tile_dimension_rejected():
+    """A tile field larger than the layer dimension is a mapping error
+    even when the multiplier budget would allow it."""
+    mapper = Mapper(maeri_like(256, 64))
+    with pytest.raises(MappingError, match="exceeds the layer dimension"):
+        mapper.tile_for_conv(LAYER, TileConfig(t_c=16))
