@@ -1,8 +1,8 @@
 # Convenience targets for the STONNE reproduction.
 
 .PHONY: install test bench report examples validate trace-smoke \
-	sentinel-smoke telemetry-smoke differential differential-vector \
-	coverage bench-parallel lint typecheck all clean
+	sentinel-smoke telemetry-smoke explain-smoke differential \
+	differential-vector coverage bench-parallel lint typecheck all clean
 
 install:
 	pip install -e .
@@ -102,6 +102,26 @@ telemetry-smoke:
 		--model squeezenet --arch tpu --num-ms 16 --repeat 2 \
 		--format json -o stonne-hotspots.json
 	@echo "telemetry smoke OK"
+
+# attributed model run into a scratch registry, then `insight explain`
+# re-validates the conservation invariant (it exits 2 on violation) and
+# writes the ledger JSON that CI uploads as an artifact
+explain-smoke:
+	rm -rf /tmp/stonne-explain-runs
+	PYTHONPATH=src python -m repro.ui.cli model squeezenet --arch tpu \
+		--num-ms 16 --stalls --registry-dir /tmp/stonne-explain-runs \
+		> /dev/null
+	PYTHONPATH=src python -m repro.observability.insight \
+		--registry-dir /tmp/stonne-explain-runs explain latest
+	PYTHONPATH=src python -m repro.observability.insight \
+		--registry-dir /tmp/stonne-explain-runs \
+		explain latest --format json -o stonne-explain.json
+	PYTHONPATH=src python -c "import json; \
+		d = json.load(open('stonne-explain.json')); \
+		assert d['conservation']['ok'], d['conservation']; \
+		assert sum(d['buckets'].values()) == d['total_cycles'], d; \
+		assert d['coverage'] == 1.0, d['coverage']"
+	@echo "explain smoke OK"
 
 examples:
 	@for script in examples/*.py; do \

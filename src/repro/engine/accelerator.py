@@ -247,6 +247,11 @@ class Accelerator:
                 }
                 for sample in self.obs.layer_samples()
             ]
+        if self.obs.stalls is not None:
+            # finalize checks conservation and fills the idle remainder;
+            # the ledger rides in `extra` so counters stay byte-identical
+            # with attribution off
+            extra["stalls"] = self.obs.stalls.finalize(cycles)
         delta = self._snapshot().diff(before)
         layer = LayerReport(
             name=name,
@@ -440,6 +445,11 @@ class Accelerator:
         self.gb.record_reads(comparisons)
         self.gb.record_writes(output.size)
         self.gb.counters.add("gb_pool_comparisons", comparisons)
+        if self.obs.stalls is not None:
+            # windows stream through the comparators after the fixed
+            # configuration cycles
+            self.obs.stalls.charge("controller", "weight_fill", 4)
+            self.obs.stalls.charge("controller", "compute_busy", cycles - 4)
         self._finish_layer(name, "maxpool", before, cycles, 0, output.size, 0.0)
         return output
 

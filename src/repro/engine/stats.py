@@ -63,6 +63,19 @@ KNOWN_COUNTERS: Dict[str, str] = {
     "rn_outputs_written": "reduced outputs leaving the RN",
     "rn_reconfigurations": "reduction-network reconfiguration events",
     "rn_wire_traversals": "RN wire segments traversed by all psums",
+    # stall-attribution taxonomy (repro.observability.stalls): these live
+    # in LayerReport.extra["stalls"], never in a CounterSet — declaring
+    # them here gives lint and `insight explain` one shared registry of
+    # names and descriptions
+    "stall_compute_busy": "cycles the component advanced useful work",
+    "stall_dram_stall": "cycles stalled on off-chip DRAM bandwidth",
+    "stall_edge_underutilization": "systolic wavefront-skew cycles with edge PEs idle",
+    "stall_fifo_backpressure": "cycles the output/psum drain FIFOs bound the step",
+    "stall_idle": "cycles the component provably had no work",
+    "stall_noc_distribution": "cycles distribution-network delivery bound the step",
+    "stall_noc_reduction": "cycles reduction/merge throughput bound the step",
+    "stall_pipeline_drain": "pipeline fill/drain cycles",
+    "stall_weight_fill": "configuration + stationary operand fill cycles",
 }
 
 

@@ -30,6 +30,7 @@ from repro.errors import ConfigurationError, MappingError
 from repro.memory.dram import Dram
 from repro.memory.global_buffer import GlobalBuffer
 from repro.noc.base import ClockedComponent
+from repro.observability.stalls import StallLedger
 from repro.observability.telemetry.scopes import component_scope
 
 #: fixed pipeline fill/drain cycles per tile (weight-feed setup, edge
@@ -195,6 +196,9 @@ class SystolicEngine(ClockedComponent):
                 )
             cycles += dram_stall
             obs.sample(cycles)
+        ledger = obs.stalls
+        if ledger is not None:
+            self._charge_stalls(ledger, m, k, n, dram_stall)
         self._current_cycle += cycles
         self.counters.add("ctrl_cycles", cycles)
         utilization = macs / (self.config.num_ms * cycles) if cycles else 0.0
@@ -270,6 +274,39 @@ class SystolicEngine(ClockedComponent):
         # GB feeds the array edges once per tile
         self.gb.record_reads(tm * k + k * tn)
         self.gb.record_writes(tm * tn)
+
+    def _charge_stalls(
+        self, ledger: StallLedger, m: int, k: int, n: int, dram_stall: int
+    ) -> None:
+        """Attribute one GEMM's cycles to stall buckets.
+
+        Shared by the tile-walking reference and the closed-form vector
+        kernel: both charge from the same ``(shape, count)`` tile
+        classes, so the engine modes produce byte-identical ledgers by
+        construction. Per tile the wavefront formula of
+        :meth:`tile_cycles` decomposes exactly — useful MAC waves,
+        stationary preload (WS only), the ``+tn-2``-style skew where
+        edge PEs idle while the diagonal passes, and the fixed
+        fill/drain overhead — so the PE-array row conserves with zero
+        idle.
+        """
+        from repro.engine.vector.systolic import tile_classes
+
+        charge = ledger.charge
+        for tm, tk, tn, count in tile_classes(self, m, k, n):
+            if self.weight_stationary:
+                charge("pe_array", "weight_fill", tk * count)
+                charge("pe_array", "compute_busy", tm * count)
+                charge(
+                    "pe_array", "edge_underutilization", (tk + tn - 2) * count
+                )
+            else:
+                charge("pe_array", "compute_busy", tk * count)
+                charge(
+                    "pe_array", "edge_underutilization", (tm + tn - 2) * count
+                )
+            charge("pe_array", "pipeline_drain", PIPE_OVERHEAD * count)
+        charge("pe_array", "dram_stall", dram_stall)
 
     def _account_dram(self, m: int, k: int, n: int, compute_cycles: int) -> int:
         with component_scope("memory.dram"):

@@ -233,6 +233,12 @@ def run_layer_closed_form(
             )
         cycles += dram_stall
 
+    ledger = obs.stalls
+    if ledger is not None:
+        # same charging code, same segment table as the reference walk:
+        # byte-identical ledgers by construction
+        ctrl._charge_stalls(ledger, cs, load_cycles, segments, drain, dram_stall)
+
     utilization = macs / (ctrl.mn.num_ms * cycles) if cycles else 0.0
     ctrl._current_cycle += cycles
     ctrl.counters.add("ctrl_cycles", cycles)

@@ -187,6 +187,11 @@ def run_gemm_closed_form(
                 base + cycles + dram_stall,
             )
         cycles += dram_stall
+    ledger = obs.stalls
+    if ledger is not None:
+        # same charging code, same tile classes as the reference walk:
+        # byte-identical ledgers by construction
+        engine._charge_stalls(ledger, m, k, n, dram_stall)
     engine._current_cycle += cycles
     engine.counters.add("ctrl_cycles", cycles)
     utilization = macs / (engine.config.num_ms * cycles) if cycles else 0.0

@@ -60,6 +60,7 @@ from repro.noc.base import ClockedComponent
 from repro.noc.distribution import DistributionNetwork
 from repro.noc.multiplier import MultiplierNetwork
 from repro.noc.reduction import ReductionNetwork
+from repro.observability.stalls import StallLedger
 from repro.observability.telemetry.scopes import component_scope
 
 #: fixed cycles for the Configuration Unit to program a layer's signals
@@ -227,6 +228,16 @@ class DenseController(ClockedComponent):
                 )
             cycles += dram_stall
             obs.sample(cycles)
+
+        ledger = obs.stalls
+        if ledger is not None:
+            segments = [
+                (cost, repeats, self._step_cycles(cost, cs))
+                for cost, repeats in plan if repeats > 0
+            ]
+            self._charge_stalls(
+                ledger, cs, load_cycles, segments, drain, dram_stall
+            )
 
         utilization = macs / (self.mn.num_ms * cycles) if cycles else 0.0
         self._current_cycle += cycles
@@ -455,6 +466,61 @@ class DenseController(ClockedComponent):
             if cost.outputs_completed:
                 self.rn.record_outputs(cost.outputs_completed * repeats)
                 self.gb.record_writes(cost.outputs_completed * repeats)
+
+    def _charge_stalls(
+        self,
+        ledger: StallLedger,
+        cs: int,
+        load_cycles: int,
+        segments: list,
+        drain: int,
+        dram_stall: int,
+    ) -> None:
+        """Attribute the layer's cycles to stall buckets.
+
+        Called by the cycle-stepped reference and the closed-form vector
+        kernel with identical aggregate inputs — the segment table and
+        phase totals both paths already compute — so the two engine
+        modes produce byte-identical ledgers by construction. The
+        controller row is exhaustive (its charges sum to the layer's
+        cycles with zero idle); the dn/mn/rn rows charge each tier's
+        busy share of every step and leave the rest as idle.
+        """
+        charge = ledger.charge
+        charge("controller", "weight_fill", LAYER_SETUP_CYCLES + load_cycles)
+        charge("dn", "weight_fill", load_cycles)
+        for cost, repeats, step_cycles in segments:
+            delivery = self.dn.delivery_cycles(
+                max(cost.dn_slots, 1), max(cost.destinations, 1)
+            )
+            reduction = (
+                1 if self.rn.pipelined else self.rn.reduction_latency(cs)
+            )
+            out_drain = self.rn.output_cycles(
+                cost.outputs_completed + cost.psum_writebacks
+            )
+            charge("controller", "compute_busy", repeats)
+            stall = (step_cycles - 1) * repeats
+            if stall > 0:
+                # the slowest stage of max(delivery, reduction, drain)
+                # owns the stall; ties resolve front-to-back
+                if delivery == step_cycles:
+                    bucket = "noc_distribution"
+                elif reduction == step_cycles:
+                    bucket = "noc_reduction"
+                else:
+                    bucket = "fifo_backpressure"
+                charge("controller", bucket, stall)
+            charge("dn", "noc_distribution", delivery * repeats)
+            charge("mn", "compute_busy", repeats)
+            charge("rn", "noc_reduction", max(reduction, out_drain) * repeats)
+        # the final drain splits across the tiers it keeps in flight
+        charge("controller", "pipeline_drain", drain)
+        charge("dn", "pipeline_drain", self.dn.pipeline_latency)
+        charge("mn", "pipeline_drain", 1)
+        charge("rn", "pipeline_drain", self.rn.reduction_latency(cs))
+        for component in ("controller", "dn", "mn", "rn"):
+            charge(component, "dram_stall", dram_stall)
 
     def _account_dram(self, layer: ConvLayerSpec, compute_cycles: int) -> int:
         """Move the layer footprint through DRAM; returns stall cycles."""

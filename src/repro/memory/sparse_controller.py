@@ -245,9 +245,12 @@ class SparseController(ClockedComponent):
 
         tracer = obs.tracer
         base = obs.base
+        ledger = obs.stalls
         self.counters.add("ctrl_gemms_run", 1)
         self.counters.add("ctrl_metadata_elements", csr.nnz)
         cycles = GEMM_SETUP_CYCLES
+        if ledger is not None:
+            ledger.charge("controller", "weight_fill", GEMM_SETUP_CYCLES)
         if tracer.enabled:
             tracer.span("CTRL:setup", self.name, base, base + cycles)
         round_stats: List[SparseRoundStats] = []
@@ -290,6 +293,8 @@ class SparseController(ClockedComponent):
                         base + cycles + drain,
                     )
                 cycles += drain
+                if ledger is not None:
+                    ledger.charge("controller", "pipeline_drain", drain)
 
             dram_stall = self._account_dram(csr, n_cols, cycles)
             if tracer.enabled and dram_stall:
@@ -298,6 +303,8 @@ class SparseController(ClockedComponent):
                     base + cycles + dram_stall,
                 )
             cycles += dram_stall
+            if ledger is not None:
+                ledger.charge("controller", "dram_stall", dram_stall)
             obs.sample(cycles)
 
         mapping_util = (
@@ -436,6 +443,41 @@ class SparseController(ClockedComponent):
                 "RN:merge", self.rn.name, clock, clock + merge_cycles,
                 resumed_rows=resumed,
             )
+
+        ledger = obs.stalls
+        if ledger is not None:
+            charge = ledger.charge
+            # reconfig + stationary fill open the round
+            charge(
+                "controller", "weight_fill",
+                (ROUND_RECONFIG_CYCLES if first else 0) + load_cycles,
+            )
+            if b_mask is not None and support:
+                # dual-sided streaming: per column the step is
+                # max(per_col delivery, output drain) — one useful cycle,
+                # the rest charged to whichever side bound the column
+                costs = np.maximum(per_col, drain)
+                dn_bound = per_col >= drain
+                charge("controller", "compute_busy", int(per_col.size))
+                charge(
+                    "controller", "noc_distribution",
+                    int((costs[dn_bound] - 1).sum()),
+                )
+                charge(
+                    "controller", "fifo_backpressure",
+                    int((costs[~dn_bound] - 1).sum()),
+                )
+            else:
+                charge("controller", "compute_busy", n_cols)
+                stall = (step_cycles - 1) * n_cols
+                if stall > 0:
+                    bucket = (
+                        "noc_distribution" if delivery >= drain
+                        else "fifo_backpressure"
+                    )
+                    charge("controller", bucket, stall)
+            # folded-row psum merge runs through the reduction tier
+            charge("controller", "noc_reduction", merge_cycles)
 
         total = (
             (ROUND_RECONFIG_CYCLES if first else 0)

@@ -11,8 +11,11 @@ Three coordinated instruments over one simulation:
   simulator itself (``map`` / ``distribute`` / ``compute`` / ``reduce``
   / ``drain``);
 
-plus :mod:`repro.observability.provenance` (run metadata stamped on
-every report), :mod:`repro.observability.validate` (trace schema
+plus :mod:`repro.observability.stalls` (cycle-exact stall attribution:
+every simulated cycle of every component classified into a closed
+taxonomy under a conservation invariant, surfaced as ``stonne insight
+explain``), :mod:`repro.observability.provenance` (run metadata stamped
+on every report), :mod:`repro.observability.validate` (trace schema
 checking) and :mod:`repro.observability.telemetry` (host-side metrics
 facade, sampling hotspot profiler, live progress, Prometheus/JSONL
 exporters). :class:`Observability` bundles the instruments for one
@@ -47,6 +50,14 @@ from repro.observability.registry import (
     RunRegistry,
     default_registry_dir,
     registry_enabled,
+)
+from repro.observability.stalls import (
+    STALL_BUCKETS,
+    StallConservationError,
+    StallLedger,
+    classify_bound,
+    merge_ledgers,
+    validate_ledger,
 )
 from repro.observability.telemetry import (
     HotspotReport,
@@ -83,17 +94,23 @@ __all__ = [
     "ProgressEmitter",
     "RunRecord",
     "RunRegistry",
+    "STALL_BUCKETS",
+    "StallConservationError",
+    "StallLedger",
     "TRACE_COUNTER_SERIES",
     "Telemetry",
     "TraceEvent",
     "Tracer",
+    "classify_bound",
     "component_scope",
     "config_hash",
     "default_registry_dir",
     "enable_telemetry",
+    "merge_ledgers",
     "parse_chrome_trace",
     "registry_enabled",
     "run_metadata",
+    "validate_ledger",
     "telemetry",
     "to_prometheus",
     "utilization_series",

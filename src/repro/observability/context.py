@@ -25,6 +25,7 @@ from repro.observability.metrics import (
     MetricsSample,
 )
 from repro.observability.profiler import NULL_PROFILER, NullProfiler, Profiler
+from repro.observability.stalls import StallLedger
 from repro.observability.tracer import NULL_TRACER, NullTracer, Tracer
 
 #: cumulative counter series mirrored into the Chrome trace as counter
@@ -40,10 +41,14 @@ class Observability:
         tracer: Optional[NullTracer] = None,
         metrics: Optional[MetricsRecorder] = None,
         profiler: Optional[NullProfiler] = None,
+        stalls: Optional[StallLedger] = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        #: stall-attribution ledger; ``None`` keeps every charging site a
+        #: single attribute test (attribution is off by default)
+        self.stalls = stalls
         #: absolute cycle at which the current layer started
         self.base = 0
         self._snapshot: Optional[Callable[[], CounterSet]] = None
@@ -51,18 +56,19 @@ class Observability:
 
     @classmethod
     def create(cls, trace: bool = False, metrics_every: int = 0,
-               profile: bool = False) -> "Observability":
+               profile: bool = False, stalls: bool = False) -> "Observability":
         """Convenience factory from the CLI-flag view of the options."""
         return cls(
             tracer=Tracer() if trace else None,
             metrics=MetricsRecorder(every=metrics_every) if metrics_every else None,
             profiler=Profiler() if profile else None,
+            stalls=StallLedger() if stalls else None,
         )
 
     @property
     def enabled(self) -> bool:
         return (self.tracer.enabled or self.metrics is not None
-                or self.profiler.enabled)
+                or self.profiler.enabled or self.stalls is not None)
 
     # ---- accelerator protocol -----------------------------------------
     def bind(self, snapshot: Callable[[], CounterSet]) -> None:
@@ -73,6 +79,8 @@ class Observability:
         self.base = base_cycle
         if self.metrics is not None:
             self._emitted_at_layer_start = self.metrics.total_emitted
+        if self.stalls is not None:
+            self.stalls.reset()
 
     def layer_samples(self) -> List[MetricsSample]:
         """Samples emitted since :meth:`start_layer` (ring-bounded)."""

@@ -34,6 +34,12 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.observability.registry import RunRecord, RunRegistry
+from repro.observability.stalls import (
+    STALL_BUCKETS,
+    classify_bound,
+    merge_ledgers,
+    validate_ledger,
+)
 
 #: bottleneck classes, in tie-breaking priority order
 BOUND_KINDS = ("compute", "distribution", "reduction", "memory")
@@ -130,6 +136,192 @@ def bound_summary(record: RunRecord) -> Dict[str, float]:
     if total:
         shares = {k: round(v / total, 6) for k, v in shares.items()}
     return dict(sorted(shares.items(), key=lambda kv: -kv[1]))
+
+
+# ----------------------------------------------------------------------
+# stall-ledger explanation (cycle-exact, from extra["stalls"])
+# ----------------------------------------------------------------------
+def primary_stall_row(stalls: Mapping[str, Mapping[str, int]]) -> Tuple[str, Dict[str, int]]:
+    """The component whose accounting is exhaustive for the layer.
+
+    Every component row sums to the layer's cycles, so summing rows
+    would double-count; the layer-level story is the row with the least
+    ``idle`` filler — the component that was actually orchestrating
+    (dense/sparse ``controller``, systolic ``pe_array``), whose every
+    cycle is attributed to a real cause.
+    """
+    component = min(sorted(stalls), key=lambda c: int(stalls[c].get("idle", 0)))
+    return component, {b: int(v) for b, v in stalls[component].items()}
+
+
+def explain_record(record: RunRecord) -> Dict[str, object]:
+    """Cycle-exact stall attribution of one registered run.
+
+    Raises :class:`ValueError` with an actionable message when the run
+    carries no ledgers (it was recorded without ``--stalls``).
+    Conservation is re-validated here — a ledger that stopped summing to
+    its layer's cycles is reported, never silently renormalized.
+    """
+    layers: List[Dict[str, object]] = []
+    violations: List[str] = []
+    ledgers: List[Mapping[str, Mapping[str, int]]] = []
+    totals: Dict[str, int] = {bucket: 0 for bucket in STALL_BUCKETS}
+    attributed = 0
+    total = record.total_cycles or 0
+    for index, layer in enumerate(record.layers):
+        stalls = layer.get("stalls")
+        if stalls is None:
+            continue
+        name = layer.get("name", f"layer[{index}]")
+        cycles = int(layer.get("cycles", 0))
+        violations += [
+            f"{name}: {problem}"
+            for problem in validate_ledger(stalls, cycles)
+        ]
+        component, buckets = primary_stall_row(stalls)
+        for bucket, value in buckets.items():
+            if bucket in totals:
+                totals[bucket] += value
+        attributed += cycles
+        ledgers.append(stalls)
+        layers.append({
+            "layer": name,
+            "kind": layer.get("kind", "?"),
+            "cycles": cycles,
+            "share": (cycles / total) if total else 0.0,
+            "bound": classify_bound(buckets),
+            "primary_component": component,
+            "buckets": {b: buckets.get(b, 0) for b in STALL_BUCKETS},
+            "components": stalls,
+        })
+    if not layers:
+        raise ValueError(
+            f"run {record.run_id} has no stall ledgers — re-run the "
+            f"workload with --stalls (CLI) or "
+            f"Observability.create(stalls=True) (API) to record "
+            f"attribution"
+        )
+    return {
+        "run_id": record.run_id,
+        "workload": record.workload,
+        "config_name": record.config_name,
+        "config_hash": record.config_hash,
+        "total_cycles": total,
+        "attributed_cycles": attributed,
+        "coverage": (attributed / total) if total else 1.0,
+        "bound": classify_bound(totals),
+        "buckets": totals,
+        "components": merge_ledgers(list(ledgers)),
+        "layers": layers,
+        "conservation": {"ok": not violations, "violations": violations},
+    }
+
+
+def explain_diff(old: RunRecord, new: RunRecord) -> Dict[str, object]:
+    """Attribute the cycle delta between two runs to stall buckets.
+
+    With full attribution coverage on both sides, the per-bucket deltas
+    sum exactly to the total cycle delta — the answer to "the run got
+    1.2k cycles slower; *which cause* got slower?".
+    """
+    old_explained = explain_record(old)
+    new_explained = explain_record(new)
+    buckets = {
+        bucket: {
+            "old": old_explained["buckets"][bucket],
+            "new": new_explained["buckets"][bucket],
+            "delta": (new_explained["buckets"][bucket]
+                      - old_explained["buckets"][bucket]),
+        }
+        for bucket in STALL_BUCKETS
+    }
+    violations = (old_explained["conservation"]["violations"]
+                  + new_explained["conservation"]["violations"])
+    return {
+        "old_run": old.run_id,
+        "new_run": new.run_id,
+        "workload_match": old.workload == new.workload,
+        "config_match": (bool(old.config_hash)
+                         and old.config_hash == new.config_hash),
+        "old_cycles": old_explained["attributed_cycles"],
+        "new_cycles": new_explained["attributed_cycles"],
+        "cycle_delta": (new_explained["attributed_cycles"]
+                        - old_explained["attributed_cycles"]),
+        "old_bound": old_explained["bound"],
+        "new_bound": new_explained["bound"],
+        "buckets": buckets,
+        "conservation": {"ok": not violations, "violations": violations},
+    }
+
+
+#: short column labels for the 9-bucket text table
+_BUCKET_ABBREV = {
+    "compute_busy": "busy",
+    "weight_fill": "wfill",
+    "pipeline_drain": "drain",
+    "dram_stall": "dram",
+    "noc_distribution": "dn",
+    "noc_reduction": "rn",
+    "fifo_backpressure": "fifo",
+    "edge_underutilization": "edge",
+    "idle": "idle",
+}
+
+
+def _format_explain_text(result: Mapping, top: int) -> str:
+    lines = [
+        f"run {result['run_id']}  {result['workload']}  "
+        f"config {result['config_hash'] or result['config_name']}",
+        f"{result['total_cycles']:,} cycles over "
+        f"{len(result['layers'])} attributed layer(s), "
+        f"coverage {result['coverage']:.1%} — {result['bound']}",
+        "",
+        "where the cycles went (run level):",
+    ]
+    total = result["attributed_cycles"] or 1
+    for bucket in STALL_BUCKETS:
+        cycles = result["buckets"][bucket]
+        if not cycles:
+            continue
+        bar = "#" * max(1, round(40 * cycles / total))
+        lines.append(f"  {bucket:<22s} {cycles:>12,d} "
+                     f"{cycles / total:>6.1%}  {bar}")
+    lines.append("")
+    ranked = sorted(result["layers"],
+                    key=lambda row: (-row["cycles"], row["layer"]))[:top]
+    header = (f"{'layer':<26s} {'kind':<8s} {'cycles':>10s} {'share':>6s} "
+              f"{'bound':<16s}")
+    header += "".join(f"{_BUCKET_ABBREV[b]:>6s}" for b in STALL_BUCKETS)
+    lines.append(f"top {len(ranked)} layers by cycles:")
+    lines.append(header)
+    for row in ranked:
+        cycles = row["cycles"] or 1
+        line = (f"{row['layer'][:26]:<26s} {row['kind']:<8s} "
+                f"{row['cycles']:>10,d} {row['share']:>6.1%} "
+                f"{row['bound']:<16s}")
+        line += "".join(
+            f"{row['buckets'][b] / cycles:>6.0%}" for b in STALL_BUCKETS
+        )
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def _format_explain_diff_text(result: Mapping) -> str:
+    lines = [
+        f"{result['old_run']} -> {result['new_run']}: "
+        f"{result['old_cycles']:,} -> {result['new_cycles']:,} cycles "
+        f"({result['cycle_delta']:+,d}); "
+        f"{result['old_bound']} -> {result['new_bound']}",
+        "",
+        f"{'bucket':<22s} {'old':>12s} {'new':>12s} {'delta':>12s}",
+    ]
+    for bucket in STALL_BUCKETS:
+        delta = result["buckets"][bucket]
+        if not (delta["old"] or delta["new"]):
+            continue
+        lines.append(f"{bucket:<22s} {delta['old']:>12,d} "
+                     f"{delta['new']:>12,d} {delta['delta']:>+12,d}")
+    return "\n".join(lines) + "\n"
 
 
 # ----------------------------------------------------------------------
@@ -357,6 +549,20 @@ _BOUND_COLORS = {
 #: report states the truncation explicitly rather than hiding it
 HEATMAP_MAX_LAYERS = 48
 
+#: stall-bucket colors for the stacked breakdown (compute-side blues and
+#: greens, data-movement-side warm tones, idle grey)
+_STALL_COLORS = {
+    "compute_busy": "#4c78a8",
+    "edge_underutilization": "#9ecae9",
+    "pipeline_drain": "#54a24b",
+    "weight_fill": "#eeca3b",
+    "dram_stall": "#e45756",
+    "noc_distribution": "#f58518",
+    "noc_reduction": "#b279a2",
+    "fifo_backpressure": "#ff9da6",
+    "idle": "#dddddd",
+}
+
 
 def _esc(value: object) -> str:
     return html.escape(str(value))
@@ -455,6 +661,83 @@ def _attribution_table(rows: List[Dict], n: int) -> str:
         "<th>share</th><th>bound</th><th>MN</th><th>DN</th><th>RN</th>"
         "<th>DRAM</th></tr></thead><tbody>" + body + "</tbody></table>"
     )
+
+
+def _stall_breakdown_svg(layers: List[Dict], cell: int = 22,
+                         label_w: int = 220, bar_w: int = 640) -> str:
+    """Per-layer stacked bars: each layer's cycles split by stall bucket."""
+    shown = sorted(layers, key=lambda r: -r["cycles"])[:HEATMAP_MAX_LAYERS]
+    shown.sort(key=lambda r: layers.index(r))  # back to execution order
+    width = label_w + bar_w + 8
+    height = 6 + cell * len(shown)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="stall breakdown">'
+    ]
+    for j, row in enumerate(shown):
+        y = 4 + j * cell
+        parts.append(
+            f'<text x="{label_w - 6}" y="{y + cell / 2 + 3}" font-size="10" '
+            f'text-anchor="end" fill="#333">{_esc(row["layer"][:34])}</text>'
+        )
+        cycles = row["cycles"] or 1
+        x = float(label_w)
+        for bucket in STALL_BUCKETS:
+            value = row["buckets"].get(bucket, 0)
+            if not value:
+                continue
+            w = bar_w * value / cycles
+            title = (f"{row['layer']} {bucket}: {value} cycles "
+                     f"({value / cycles:.1%})")
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y}" width="{max(w, 0.5):.2f}" '
+                f'height="{cell - 4}" fill="{_STALL_COLORS[bucket]}" '
+                f'stroke="#fff" stroke-width="0.5">'
+                f"<title>{_esc(title)}</title></rect>"
+            )
+            x += w
+    parts.append("</svg>")
+    note = ""
+    if len(layers) > len(shown):
+        note = (f"<p class='note'>showing the {len(shown)} most "
+                f"cycle-expensive of {len(layers)} layers</p>")
+    return "".join(parts) + note
+
+
+def _stall_sections(record: RunRecord) -> List[str]:
+    """The 'Stall attribution' report block (empty without ledgers)."""
+    try:
+        explained = explain_record(record)
+    except ValueError:
+        return []
+    total = explained["attributed_cycles"] or 1
+    legend = "".join(
+        f"<span><span class='dot' style='background:{color}'></span>"
+        f"{bucket}</span>"
+        for bucket, color in _STALL_COLORS.items()
+        if explained["buckets"].get(bucket)
+    )
+    bucket_rows = "".join(
+        f"<tr><th>{_esc(bucket)}</th>"
+        f"<td class='num'>{explained['buckets'][bucket]:,}</td>"
+        f"<td class='num'>{explained['buckets'][bucket] / total:.1%}</td></tr>"
+        for bucket in STALL_BUCKETS if explained["buckets"][bucket]
+    )
+    conservation = (
+        "<p class='note'>conservation: every component's buckets sum to "
+        "its layer's cycles exactly</p>"
+        if explained["conservation"]["ok"] else
+        "<p class='note' style='color:#c00'>conservation VIOLATED: "
+        + _esc("; ".join(explained["conservation"]["violations"][:5]))
+        + "</p>"
+    )
+    return [
+        f"<h2>Stall attribution — {_esc(explained['bound'])}</h2>",
+        f"<div class='legend'>{legend}</div>",
+        _stall_breakdown_svg(explained["layers"]),
+        f"<table>{bucket_rows}</table>",
+        conservation,
+    ]
 
 
 def _regression_table(results: List[Dict]) -> str:
@@ -556,6 +839,7 @@ def render_html(
         "<h2>Run-level utilization</h2>",
         f"<table>{util_rows or '<tr><td>(none)</td></tr>'}</table>",
     ]
+    sections += _stall_sections(record)
     if check_results is not None:
         sections += ["<h2>Regression check</h2>",
                      _regression_table(check_results)]
@@ -598,6 +882,25 @@ def _thresholds_from(args: argparse.Namespace,
 def _cmd_list(args: argparse.Namespace) -> int:
     with _open_registry(args) as registry:
         records = registry.list_runs(workload=args.workload, limit=args.limit)
+    if args.json:
+        rows = [
+            {
+                "run_id": record.run_id,
+                "created_utc": record.created_utc,
+                "workload": record.workload,
+                "source": record.source,
+                "config_name": record.config_name,
+                "config_hash": record.config_hash,
+                "total_cycles": record.total_cycles,
+                "total_macs": record.total_macs,
+                "energy_total_uj": record.energy_total_uj,
+                "wall_clock_s": record.wall_clock_s,
+                "cached": record.cached,
+            }
+            for record in records
+        ]
+        print(json.dumps(rows, indent=2))
+        return 0
     if not records:
         print("(registry is empty)")
         return 0
@@ -699,6 +1002,14 @@ def _cmd_attribute(args: argparse.Namespace) -> int:
     with _open_registry(args) as registry:
         record = registry.resolve(args.run)
     rows = top_layers(record, n=args.top)
+    if args.json:
+        print(json.dumps({
+            "run_id": record.run_id,
+            "workload": record.workload,
+            "layers": rows,
+            "bound_shares": bound_summary(record),
+        }, indent=2))
+        return 0
     print(f"{'layer':<30s} {'kind':<8s} {'cycles':>10s} {'share':>7s} "
           f"{'bound':<14s} {'MN':>6s} {'DN':>6s} {'RN':>6s} {'DRAM':>6s}")
     for row in rows:
@@ -715,9 +1026,44 @@ def _cmd_attribute(args: argparse.Namespace) -> int:
 
 def _cmd_prune(args: argparse.Namespace) -> int:
     with _open_registry(args) as registry:
+        if args.dry_run:
+            doomed = registry.prune_candidates(
+                keep=args.keep, workload=args.workload
+            )
+            total = registry.count()
+            for run_id in doomed:
+                print(f"would prune {run_id}")
+            print(f"dry run: would prune {len(doomed)} run(s); "
+                  f"{total - len(doomed)} would remain")
+            return 0
         deleted = registry.prune(keep=args.keep, workload=args.workload)
         remaining = registry.count()
     print(f"pruned {deleted} run(s); {remaining} remain")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    with _open_registry(args) as registry:
+        if args.diff:
+            result = explain_diff(registry.resolve(args.diff[0]),
+                                  registry.resolve(args.diff[1]))
+            text = (json.dumps(result, indent=2) + "\n"
+                    if args.format == "json"
+                    else _format_explain_diff_text(result))
+        else:
+            result = explain_record(registry.resolve(args.run))
+            text = (json.dumps(result, indent=2) + "\n"
+                    if args.format == "json"
+                    else _format_explain_text(result, top=args.top))
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"explanation written to {args.out}")
+    else:
+        print(text, end="")
+    if not result["conservation"]["ok"]:
+        for violation in result["conservation"]["violations"]:
+            print(f"CONSERVATION VIOLATED: {violation}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -796,6 +1142,8 @@ def build_parser() -> argparse.ArgumentParser:
     cmd = sub.add_parser("list", help="list registered runs, newest first")
     cmd.add_argument("--workload", help="filter by workload name")
     cmd.add_argument("--limit", type=int, default=30)
+    cmd.add_argument("--json", action="store_true",
+                     help="machine-readable headline rows")
     cmd.set_defaults(func=_cmd_list)
 
     cmd = sub.add_parser("show", help="print one run's full record as JSON")
@@ -836,13 +1184,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmd.add_argument("run", help="run id, unique prefix, or 'latest'")
     cmd.add_argument("--top", type=int, default=10)
+    cmd.add_argument("--json", action="store_true",
+                     help="machine-readable attribution rows")
     cmd.set_defaults(func=_cmd_attribute)
+
+    cmd = sub.add_parser(
+        "explain",
+        help="attribute every simulated cycle to a stall-taxonomy bucket "
+             "(requires a run recorded with --stalls)",
+    )
+    cmd.add_argument("run", nargs="?", default="latest",
+                     help="run id, unique prefix, or 'latest' (default)")
+    cmd.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                     help="attribute the cycle delta between two runs "
+                          "to stall buckets instead")
+    cmd.add_argument("--format", choices=("text", "json"), default="text")
+    cmd.add_argument("--top", type=int, default=15,
+                     help="layers shown in the text table")
+    cmd.add_argument("-o", "--out", help="output path (default: stdout)")
+    cmd.set_defaults(func=_cmd_explain)
 
     cmd = sub.add_parser(
         "prune", help="keep only the newest N runs per (workload, config)"
     )
     cmd.add_argument("--keep", type=int, default=20)
     cmd.add_argument("--workload")
+    cmd.add_argument("--dry-run", action="store_true",
+                     help="list the runs prune would delete, delete nothing")
     cmd.set_defaults(func=_cmd_prune)
 
     cmd = sub.add_parser(

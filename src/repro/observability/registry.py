@@ -41,7 +41,8 @@ from typing import Dict, List, Mapping, Optional, Union
 from repro.observability.telemetry.facade import telemetry
 
 #: bump when the stored record payload changes shape
-SCHEMA_VERSION = 1
+#: (2: per-layer stall-attribution ledgers persisted as layer["stalls"])
+SCHEMA_VERSION = 2
 
 #: environment override for the registry directory
 RUNS_DIR_ENV = "STONNE_RUNS_DIR"
@@ -131,7 +132,12 @@ class RunRecord:
         layers = []
         for layer in report.layers:
             row = layer.to_payload()
-            row.pop("extra", None)  # traces/metrics do not belong in the DB
+            extra_blob = row.pop("extra", None) or {}
+            # traces/metrics do not belong in the DB, but the compact
+            # stall ledger does — it is what `insight explain` reads
+            stalls = extra_blob.get("stalls")
+            if stalls is not None:
+                row["stalls"] = stalls
             row["energy_total_uj"] = round(layer.energy(config).total_uj, 6)
             layers.append(row)
         payload: Dict = {
@@ -376,12 +382,10 @@ class RunRegistry:
         return int(self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0])
 
     # ---- maintenance --------------------------------------------------
-    def prune(self, keep: int = 20, workload: Optional[str] = None) -> int:
-        """Keep the newest ``keep`` runs per (workload, config_hash).
-
-        Returns the number of deleted rows. With ``workload`` given only
-        that workload's groups are pruned.
-        """
+    def prune_candidates(
+        self, keep: int = 20, workload: Optional[str] = None
+    ) -> List[str]:
+        """Run ids :meth:`prune` would delete, newest-first, no writes."""
         if keep < 0:
             raise ValueError("keep must be >= 0")
         params: List[object] = []
@@ -401,6 +405,15 @@ class RunRegistry:
             seen[key] = seen.get(key, 0) + 1
             if seen[key] > keep:
                 doomed.append(run_id)
+        return doomed
+
+    def prune(self, keep: int = 20, workload: Optional[str] = None) -> int:
+        """Keep the newest ``keep`` runs per (workload, config_hash).
+
+        Returns the number of deleted rows. With ``workload`` given only
+        that workload's groups are pruned.
+        """
+        doomed = self.prune_candidates(keep=keep, workload=workload)
         if doomed:
             self._conn.executemany(
                 "DELETE FROM runs WHERE run_id = ?", [(d,) for d in doomed]

@@ -56,6 +56,7 @@ def _simulate_workload(
     workload: LayerWorkload,
     trace: bool = False,
     metrics_every: int = 0,
+    stalls: bool = False,
 ) -> Dict:
     """Time one workload on a fresh accelerator; plain-data result.
 
@@ -66,7 +67,9 @@ def _simulate_workload(
     merged report is registered, once, by whoever drove the model.
     """
     started = time.perf_counter()
-    obs = Observability.create(trace=trace, metrics_every=metrics_every)
+    obs = Observability.create(
+        trace=trace, metrics_every=metrics_every, stalls=stalls
+    )
     acc = Accelerator(config, observability=obs)
     params = workload.params
     if workload.kind == "conv":
@@ -117,10 +120,11 @@ def _simulate_workload_in_worker(
     workload: LayerWorkload,
     trace: bool,
     metrics_every: int,
+    stalls: bool = False,
 ) -> Dict:
     """The function submitted to the pool (separate name so tests can
     fault-inject the remote path without touching the serial fallback)."""
-    return _simulate_workload(config, workload, trace, metrics_every)
+    return _simulate_workload(config, workload, trace, metrics_every, stalls)
 
 
 # ----------------------------------------------------------------------
@@ -196,10 +200,11 @@ class ParallelModelRunner:
         self._executor = executor
 
     # ---- simulation of the distinct workloads -------------------------
-    def _worker_flags(self) -> Tuple[bool, int]:
+    def _worker_flags(self) -> Tuple[bool, int, bool]:
         trace = self.obs.tracer.enabled
         every = self.obs.metrics.every if self.obs.metrics is not None else 0
-        return trace, every
+        stalls = self.obs.stalls is not None
+        return trace, every, stalls
 
     def _emit_progress(self, workload: LayerWorkload, mode: str) -> None:
         if self.progress is not None:
@@ -226,13 +231,13 @@ class ParallelModelRunner:
     ) -> Tuple[Dict[int, Dict], int]:
         """Time the given workloads; returns index→bundle and the number
         that fell back to serial execution."""
-        trace, every = self._worker_flags()
+        trace, every, stalls = self._worker_flags()
         results: Dict[int, Dict] = {}
         fallbacks = 0
         if self.jobs == 1 or len(misses) <= 1:
             for workload in misses:
                 results[workload.index] = _simulate_workload(
-                    self.config, workload, trace, every
+                    self.config, workload, trace, every, stalls
                 )
                 self._note_task(results[workload.index], "simulated")
                 self._emit_progress(workload, "simulated")
@@ -251,7 +256,7 @@ class ParallelModelRunner:
             try:
                 futures[workload.index] = executor.submit(
                     _simulate_workload_in_worker,
-                    self.config, workload, trace, every,
+                    self.config, workload, trace, every, stalls,
                 )
             # stonne: lint-ok[EXC-BROAD] submit fails with arbitrary types (pickling, pool state); the serial fallback below retypes real errors
             except Exception:
@@ -277,7 +282,9 @@ class ParallelModelRunner:
                 # error reproduces here and propagates with its real type.
                 fallbacks += 1
                 mode = "fallback"
-                bundle = _simulate_workload(self.config, workload, trace, every)
+                bundle = _simulate_workload(
+                    self.config, workload, trace, every, stalls
+                )
             results[workload.index] = bundle
             pending -= 1
             queue_gauge.set(float(pending))
@@ -330,10 +337,16 @@ class ParallelModelRunner:
 
         stage_started = time.perf_counter()
         with profiler.phase("simulate"):
+            # Stall attribution runs uncached: ledgers ride in the layer
+            # extras the cache stores verbatim, and replaying ledger-free
+            # payloads into an attributed run (or vice versa) would mix
+            # the two populations. Cycles/counters are unaffected — only
+            # the warm-cache speedup is given up while attributing.
+            cache = self.cache if self.obs.stalls is None else None
             keys: Dict[int, Optional[str]] = {
                 w.index: (
-                    self.cache.key(w, self.config)
-                    if self.cache is not None else None
+                    cache.key(w, self.config)
+                    if cache is not None else None
                 )
                 for w in workloads
             }
@@ -343,7 +356,7 @@ class ParallelModelRunner:
                 key = keys[workload.index]
                 if key is None:
                     continue
-                payload = self.cache.get(key, self.config)
+                payload = cache.get(key, self.config)
                 if payload is not None:
                     bundles[workload.index] = {"layer": payload, "cached": True}
                     cache_hits += 1
@@ -375,11 +388,11 @@ class ParallelModelRunner:
                 self._note_task(bundles[index], "deduplicated")
                 self._emit_progress(by_index[index], "deduplicated")
 
-            if self.cache is not None:
+            if cache is not None:
                 for workload in misses:
                     key = keys[workload.index]
                     if key is not None:
-                        self.cache.put(
+                        cache.put(
                             key, simulated[workload.index]["layer"], self.config
                         )
         self._stage_seconds("simulate", stage_started)

@@ -105,6 +105,10 @@ def _add_hw_args(parser: argparse.ArgumentParser) -> None:
                              "(default 64 when --metrics is given)")
     parser.add_argument("--profile", action="store_true",
                         help="print a wall-clock phase profile of the simulator")
+    parser.add_argument("--stalls", action="store_true",
+                        help="attribute every simulated cycle to a stall "
+                             "bucket; inspect with 'stonne insight explain' "
+                             "(bypasses the simulation cache)")
     parser.add_argument("--telemetry", action="store_true",
                         help="collect host-side telemetry (cache/pool/registry "
                              "metrics); printed to stderr unless "
@@ -191,6 +195,7 @@ def _make_observability(args: argparse.Namespace) -> Observability:
         trace=bool(args.trace),
         metrics_every=metrics_every,
         profile=args.profile,
+        stalls=bool(getattr(args, "stalls", False)),
     )
 
 
