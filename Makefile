@@ -1,7 +1,7 @@
 # Convenience targets for the STONNE reproduction.
 
 .PHONY: install test bench report examples validate trace-smoke \
-	sentinel-smoke telemetry-smoke explain-smoke differential \
+	sentinel-smoke telemetry-smoke explain-smoke fabric-smoke differential \
 	differential-vector coverage bench-parallel lint typecheck all clean
 
 install:
@@ -122,6 +122,33 @@ explain-smoke:
 		assert sum(d['buckets'].values()) == d['total_cycles'], d; \
 		assert d['coverage'] == 1.0, d['coverage']"
 	@echo "explain smoke OK"
+
+# fabric-instrumented model run into a scratch registry, then `insight
+# fabric` re-validates the per-level consistency invariant (it exits 2
+# on violation) and writes the fabric JSON + report HTML that CI
+# uploads as artifacts
+fabric-smoke:
+	rm -rf /tmp/stonne-fabric-runs
+	PYTHONPATH=src python -m repro.ui.cli model squeezenet --arch tpu \
+		--num-ms 16 --fabric --registry-dir /tmp/stonne-fabric-runs \
+		> /dev/null
+	PYTHONPATH=src python -m repro.observability.insight \
+		--registry-dir /tmp/stonne-fabric-runs fabric latest
+	PYTHONPATH=src python -m repro.observability.insight \
+		--registry-dir /tmp/stonne-fabric-runs \
+		fabric latest --format json -o stonne-fabric.json
+	PYTHONPATH=src python -m repro.observability.insight \
+		--registry-dir /tmp/stonne-fabric-runs \
+		report latest -o stonne-fabric-report.html
+	PYTHONPATH=src python -c "import json; \
+		d = json.load(open('stonne-fabric.json')); \
+		assert d['consistency']['ok'], d['consistency']; \
+		assert d['fabric']['tiers'], 'no fabric tier charged'; \
+		assert d['hottest_links'], 'no per-link detail'; \
+		assert d['coverage'] > 0.9, d['coverage']; \
+		html = open('stonne-fabric-report.html').read(); \
+		assert 'Fabric observatory' in html"
+	@echo "fabric smoke OK"
 
 examples:
 	@for script in examples/*.py; do \

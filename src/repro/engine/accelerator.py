@@ -253,6 +253,10 @@ class Accelerator:
             # with attribution off
             extra["stalls"] = self.obs.stalls.finalize(cycles)
         delta = self._snapshot().diff(before)
+        if self.obs.fabric is not None:
+            # the fabric ledger's consistency invariant needs the layer's
+            # counter delta; like stalls, it rides only in `extra`
+            extra["fabric"] = self.obs.fabric.finalize(delta.as_dict(), cycles)
         layer = LayerReport(
             name=name,
             kind=kind,

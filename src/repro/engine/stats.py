@@ -76,6 +76,16 @@ KNOWN_COUNTERS: Dict[str, str] = {
     "stall_noc_reduction": "cycles reduction/merge throughput bound the step",
     "stall_pipeline_drain": "pipeline fill/drain cycles",
     "stall_weight_fill": "configuration + stationary operand fill cycles",
+    # fabric-observatory metrics (repro.observability.fabric): these live
+    # in LayerReport.extra["fabric"], never in a CounterSet — same shared
+    # registry idiom as the stall taxonomy above, for lint and
+    # `insight fabric`
+    "fabric_dn_level_busy": "per-level DN switch/wire traversals (spatial split)",
+    "fabric_mn_level_busy": "per-level MS-array multiplications (spatial split)",
+    "fabric_rn_level_busy": "per-level RN adder/accumulator ops (spatial split)",
+    "fifo_occupancy_depth": "tier-boundary FIFO concurrent-occupancy proxy",
+    "fifo_occupancy_hwm": "tier-boundary FIFO occupancy high-watermark",
+    "fifo_occupancy_windows": "tier-boundary FIFO windowed occupancy series",
 }
 
 

@@ -199,6 +199,9 @@ class SystolicEngine(ClockedComponent):
         ledger = obs.stalls
         if ledger is not None:
             self._charge_stalls(ledger, m, k, n, dram_stall)
+        fabric = obs.fabric
+        if fabric is not None:
+            self._charge_fabric(fabric, m, k, n)
         self._current_cycle += cycles
         self.counters.add("ctrl_cycles", cycles)
         utilization = macs / (self.config.num_ms * cycles) if cycles else 0.0
@@ -307,6 +310,32 @@ class SystolicEngine(ClockedComponent):
                 )
             charge("pe_array", "pipeline_drain", PIPE_OVERHEAD * count)
         charge("pe_array", "dram_stall", dram_stall)
+
+    def _charge_fabric(self, fabric, m: int, k: int, n: int) -> None:
+        """Decompose one GEMM's activity across the array's fabric tiers.
+
+        Shared by the tile-walking reference and the closed-form vector
+        kernel, fed the same ``(shape, count)`` tile classes, so the
+        engine modes record byte-identical fabric ledgers. The systolic
+        topology is flat: the DN is the 2 x ``dim`` edge-feed bus (west
+        activations + north weights, anchored to ``dn_wire_traversals``),
+        the MN is the ``dim x dim`` PE grid (``mn_multiplications``), and
+        the RN is the in-place accumulator file of the same grid
+        (``rn_accumulator_ops``) — one level each.
+        """
+        from repro.engine.vector.systolic import tile_classes
+
+        edge_feeds = 0
+        macs = 0
+        for tm, tk, tn, count in tile_classes(self, m, k, n):
+            edge_feeds += (tm * tk + tk * tn) * count
+            macs += tm * tk * tn * count
+        grid = self.dim * self.dim
+        fabric.charge_levels(
+            "dn", "dn_wire_traversals", [edge_feeds], [2 * self.dim]
+        )
+        fabric.charge_levels("mn", "mn_multiplications", [macs], [grid])
+        fabric.charge_levels("rn", "rn_accumulator_ops", [macs], [grid])
 
     def _account_dram(self, m: int, k: int, n: int, compute_cycles: int) -> int:
         with component_scope("memory.dram"):

@@ -72,6 +72,7 @@ def _account_weight_loads_batched(
         dn._wire_traversals(unique, destinations) * loads,
     )
     dn.counters.add("dn_elements_sent", unique * loads)
+    dn.record_fabric_traversals(unique, destinations, times=loads)
     # the queue fully drains (w_cycles covers one load's slots), so the
     # busy count is the drained-queue closed form
     dn.counters.add(
@@ -102,6 +103,9 @@ def _account_segments_batched(
         dn._validate(slots, dests)
         switch += dn._switch_traversals(slots, dests) * repeats
         wire += dn._wire_traversals(slots, dests) * repeats
+        # per-level fabric charge per segment: same (slots, dests)
+        # decomposition the reference's enqueue + scale sites emit
+        dn.record_fabric_traversals(slots, dests, times=repeats)
         elements += slots * repeats
         bw_slots = dn._bandwidth_slots(slots, dests)
         busy += min(
@@ -136,8 +140,7 @@ def _account_segments_batched(
     if forwarded:
         mn.record_forwarding(forwarded)
     with ctrl.obs.profiler.phase("reduce"), component_scope("noc.reduction"):
-        rn.counters.add(rn.adder_counter, steps * nc * max(0, cs - 1))
-        rn.counters.add("rn_wire_traversals", steps * nc * (2 * cs - 1))
+        rn.record_cluster_reductions(cs, steps * nc)
         if psum_injection_steps:
             mn.record_psum_injections(nc * psum_injection_steps)
         if psum_writebacks:
@@ -238,6 +241,10 @@ def run_layer_closed_form(
         # same charging code, same segment table as the reference walk:
         # byte-identical ledgers by construction
         ctrl._charge_stalls(ledger, cs, load_cycles, segments, drain, dram_stall)
+    fabric = obs.fabric
+    if fabric is not None:
+        # FIFO occupancy follows the same shared-site pattern
+        ctrl._charge_fifos(fabric, segments)
 
     utilization = macs / (ctrl.mn.num_ms * cycles) if cycles else 0.0
     ctrl._current_cycle += cycles

@@ -192,6 +192,10 @@ def run_gemm_closed_form(
         # same charging code, same tile classes as the reference walk:
         # byte-identical ledgers by construction
         engine._charge_stalls(ledger, m, k, n, dram_stall)
+    fabric = obs.fabric
+    if fabric is not None:
+        # fabric decomposition shares the same tile classes
+        engine._charge_fabric(fabric, m, k, n)
     engine._current_cycle += cycles
     engine.counters.add("ctrl_cycles", cycles)
     utilization = macs / (engine.config.num_ms * cycles) if cycles else 0.0

@@ -230,14 +230,18 @@ class DenseController(ClockedComponent):
             obs.sample(cycles)
 
         ledger = obs.stalls
-        if ledger is not None:
+        fabric = obs.fabric
+        if ledger is not None or fabric is not None:
             segments = [
                 (cost, repeats, self._step_cycles(cost, cs))
                 for cost, repeats in plan if repeats > 0
             ]
-            self._charge_stalls(
-                ledger, cs, load_cycles, segments, drain, dram_stall
-            )
+            if ledger is not None:
+                self._charge_stalls(
+                    ledger, cs, load_cycles, segments, drain, dram_stall
+                )
+            if fabric is not None:
+                self._charge_fifos(fabric, segments)
 
         utilization = macs / (self.mn.num_ms * cycles) if cycles else 0.0
         self._current_cycle += cycles
@@ -373,6 +377,7 @@ class DenseController(ClockedComponent):
         self.dn.counters.add("dn_switch_traversals", switches * extra)
         self.dn.counters.add("dn_wire_traversals", wires * extra)
         self.dn.counters.add("dn_elements_sent", unique * extra)
+        self.dn.record_fabric_traversals(unique, destinations, times=extra)
         self.dn._pending_slots += self.dn._bandwidth_slots(unique, destinations) * extra
 
     def _step_cost(
@@ -455,8 +460,7 @@ class DenseController(ClockedComponent):
         if cost.forwarded:
             self.mn.record_forwarding(cost.forwarded * repeats)
         with self.obs.profiler.phase("reduce"), component_scope("noc.reduction"):
-            self.rn.counters.add(self.rn.adder_counter, repeats * nc * max(0, cs - 1))
-            self.rn.counters.add("rn_wire_traversals", repeats * nc * (2 * cs - 1))
+            self.rn.record_cluster_reductions(cs, repeats * nc)
             if cost.psum_writebacks:
                 self.mn.record_psum_injections(nc * repeats)
                 self.rn.record_outputs(cost.psum_writebacks * repeats)
@@ -521,6 +525,35 @@ class DenseController(ClockedComponent):
         charge("rn", "pipeline_drain", self.rn.reduction_latency(cs))
         for component in ("controller", "dn", "mn", "rn"):
             charge(component, "dram_stall", dram_stall)
+
+    def _charge_fifos(self, fabric, segments: list) -> None:
+        """Record tier-boundary FIFO occupancy from the segment table.
+
+        Like :meth:`_charge_stalls`, this is shared by the cycle-stepped
+        walk and the closed-form vector kernel and is fed the identical
+        segment table, so the two engine modes record byte-identical
+        FIFO ledgers. Per segment the ``gb_dn`` staging FIFO sees the
+        step's DN slots (anchored to ``ctrl_fifo_pushes``) and the
+        ``rn_gb`` drain FIFO the completed psums/outputs (anchored to
+        ``ctrl_fifo_pops``); the occupancy proxy is the per-step burst,
+        capped at the configured capacity.
+        """
+        dn_capacity = self.config.dn_fifo_depth
+        rn_capacity = self.config.rn_fifo_depth
+        for cost, repeats, step_cycles in segments:
+            window = step_cycles * repeats
+            pushes = cost.dn_slots * repeats
+            pops = (cost.outputs_completed + cost.psum_writebacks) * repeats
+            fabric.record_fifo(
+                "gb_dn", dn_capacity, pushes, pushes,
+                min(cost.dn_slots, dn_capacity), window,
+            )
+            fabric.record_fifo(
+                "rn_gb", rn_capacity, pops, pops,
+                min(cost.outputs_completed + cost.psum_writebacks,
+                    rn_capacity),
+                window,
+            )
 
     def _account_dram(self, layer: ConvLayerSpec, compute_cycles: int) -> int:
         """Move the layer footprint through DRAM; returns stall cycles."""

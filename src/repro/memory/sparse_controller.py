@@ -408,18 +408,27 @@ class SparseController(ClockedComponent):
                 round_mults = nnz * n_cols
             self.mn.record_multiplications(round_mults)
         with obs.profiler.phase("reduce"), component_scope("noc.reduction"):
-            self.rn.counters.add(
-                self.rn.adder_counter,
-                n_cols * sum(max(0, size - 1) for size in cluster_sizes),
-            )
-            self.rn.counters.add(
-                "rn_wire_traversals",
-                n_cols * sum(2 * size - 1 for size in cluster_sizes),
-            )
+            for size in cluster_sizes:
+                self.rn.record_cluster_reductions(int(size), n_cols)
             self.rn.record_outputs(len(chunks) * n_cols)
             self.gb.record_writes(len(chunks) * n_cols)
         self.counters.add("ctrl_fifo_pushes", max(slots, 1) * n_cols)
         self.counters.add("ctrl_fifo_pops", len(chunks) * n_cols)
+        fabric = obs.fabric
+        if fabric is not None:
+            # tier-boundary FIFO occupancy for the round's column stream
+            fabric.record_fifo(
+                "gb_dn", self.config.dn_fifo_depth,
+                max(slots, 1) * n_cols, max(slots, 1) * n_cols,
+                min(max(slots, 1), self.config.dn_fifo_depth) if n_cols else 0,
+                stream_cycles,
+            )
+            fabric.record_fifo(
+                "rn_gb", self.config.rn_fifo_depth,
+                len(chunks) * n_cols, len(chunks) * n_cols,
+                min(len(chunks), self.config.rn_fifo_depth) if n_cols else 0,
+                stream_cycles,
+            )
         if continued:
             self.counters.add("ctrl_psum_spills", continued * n_cols)
 
@@ -501,6 +510,7 @@ class SparseController(ClockedComponent):
         self.dn.counters.add("dn_switch_traversals", switches * extra)
         self.dn.counters.add("dn_wire_traversals", wires * extra)
         self.dn.counters.add("dn_elements_sent", slots * extra)
+        self.dn.record_fabric_traversals(slots, slots, times=extra)
         self.dn._pending_slots += self.dn._bandwidth_slots(slots, slots) * extra
 
     # ------------------------------------------------------------------

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import abc
 import math
+from typing import List
 
 from repro.errors import ConfigurationError
 from repro.noc.base import ClockedComponent
@@ -37,6 +38,10 @@ def _log2_ceil(value: int) -> int:
 
 class DistributionNetwork(ClockedComponent):
     """Common bandwidth/queue behaviour for all DN fabrics."""
+
+    #: aggregate counter the per-level fabric decomposition must sum to
+    #: (the point-to-point fabric has no switches and anchors wires)
+    fabric_counter = "dn_switch_traversals"
 
     def __init__(self, name: str, num_leaves: int, bandwidth: int) -> None:
         super().__init__(name)
@@ -73,6 +78,44 @@ class DistributionNetwork(ClockedComponent):
     def _wire_traversals(self, unique_values: int, destinations: int) -> int:
         """Link activations charged to the energy model."""
 
+    # ---- spatial fabric decomposition --------------------------------
+    @abc.abstractmethod
+    def fabric_level_widths(self) -> List[int]:
+        """Physical links per tree level, root-first."""
+
+    @abc.abstractmethod
+    def fabric_level_traversals(
+        self, unique_values: int, destinations: int
+    ) -> List[int]:
+        """Per-level split of one delivery's :attr:`fabric_counter` charge.
+
+        The entries sum *exactly* to what :meth:`enqueue` adds to the
+        anchor counter for the same arguments — the consistency
+        invariant the fabric ledger enforces at finalize.
+        """
+
+    def record_fabric_traversals(
+        self, unique_values: int, destinations: int, times: int = 1
+    ) -> None:
+        """Charge ``times`` deliveries' spatial split to the fabric ledger.
+
+        :meth:`enqueue` calls this once per delivery; the batched
+        accounting paths (weight-load scaling, the vector engine's
+        closed-form sites) call it with the same (unique, destinations)
+        arguments and their repeat count, so cycle and vector runs
+        accumulate identical ledgers.
+        """
+        fabric = self.obs.fabric
+        if fabric is None:
+            return
+        fabric.charge_levels(
+            "dn",
+            self.fabric_counter,
+            self.fabric_level_traversals(unique_values, destinations),
+            self.fabric_level_widths(),
+            times=times,
+        )
+
     # ---- queue/cycle protocol ----------------------------------------
     def enqueue(self, unique_values: int, destinations: int) -> None:
         """Queue a delivery of ``unique_values`` distinct elements that
@@ -82,6 +125,7 @@ class DistributionNetwork(ClockedComponent):
         self.counters.add("dn_switch_traversals", self._switch_traversals(unique_values, destinations))
         self.counters.add("dn_wire_traversals", self._wire_traversals(unique_values, destinations))
         self.counters.add("dn_elements_sent", unique_values)
+        self.record_fabric_traversals(unique_values, destinations)
 
     @property
     def pending_slots(self) -> int:
@@ -173,6 +217,26 @@ class TreeNetwork(DistributionNetwork):
         # One link per switch hop plus the final switch→MS links.
         return self._switch_traversals(unique_values, destinations) + destinations
 
+    def fabric_level_widths(self) -> List[int]:
+        # Root-first tournament halving: [1, 2, 4, ...] for power-of-two
+        # leaf counts; the widths always sum to num_leaves - 1 switches.
+        from repro.observability.fabric import tournament_levels
+
+        return list(reversed(tournament_levels(self.num_leaves)))
+
+    def fabric_level_traversals(
+        self, unique_values: int, destinations: int
+    ) -> List[int]:
+        # Each unique value crosses one switch per level; the multicast
+        # replication hops all land in the leaf-adjacent level, where the
+        # covering subtree splits towards the destinations.
+        if unique_values == 0:
+            return [0] * self.depth
+        fanout = max(1, destinations // max(unique_values, 1))
+        levels = [unique_values] * self.depth
+        levels[-1] += unique_values * max(0, fanout - 1)
+        return levels
+
 
 class BenesNetwork(DistributionNetwork):
     """SIGMA-style Benes topology: ``2*log2(N)+1`` levels of 2x2 switches.
@@ -209,6 +273,20 @@ class BenesNetwork(DistributionNetwork):
     def _wire_traversals(self, unique_values: int, destinations: int) -> int:
         return self._switch_traversals(unique_values, destinations) + destinations
 
+    def fabric_level_widths(self) -> List[int]:
+        return [self.num_leaves // 2] * self.levels
+
+    def fabric_level_traversals(
+        self, unique_values: int, destinations: int
+    ) -> List[int]:
+        # Every unique value walks all levels; the multicast copies exit
+        # through the final level towards their destinations.
+        if unique_values == 0:
+            return [0] * self.levels
+        levels = [unique_values] * self.levels
+        levels[-1] += max(0, destinations - unique_values)
+        return levels
+
 
 class PointToPointNetwork(DistributionNetwork):
     """Unicast-only operand links for systolic arrays (TPU).
@@ -218,6 +296,9 @@ class PointToPointNetwork(DistributionNetwork):
     neighbour forwarding inside the PE grid, which the systolic engine
     models; the DN itself only feeds array edges).
     """
+
+    #: no switches to decompose — the single link stage anchors wires
+    fabric_counter = "dn_wire_traversals"
 
     def __init__(self, num_leaves: int, bandwidth: int, name: str = "dn-pop") -> None:
         super().__init__(name, num_leaves, bandwidth)
@@ -238,6 +319,14 @@ class PointToPointNetwork(DistributionNetwork):
 
     def _wire_traversals(self, unique_values: int, destinations: int) -> int:
         return max(unique_values, destinations)
+
+    def fabric_level_widths(self) -> List[int]:
+        return [self.num_leaves]
+
+    def fabric_level_traversals(
+        self, unique_values: int, destinations: int
+    ) -> List[int]:
+        return [max(unique_values, destinations)]
 
 
 def build_distribution_network(kind, num_leaves: int, bandwidth: int) -> DistributionNetwork:

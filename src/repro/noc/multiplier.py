@@ -81,6 +81,17 @@ class MultiplierNetwork(ClockedComponent):
         if count < 0:
             raise ValueError("multiplication count must be non-negative")
         self.counters.add("mn_multiplications", count)
+        fabric = self.obs.fabric
+        if fabric is not None and count:
+            # one flat level of MS links; the finalize-time spread narrows
+            # to the multipliers the mapping actually uses
+            fabric.charge_levels(
+                "mn",
+                "mn_multiplications",
+                [count],
+                [self.num_ms],
+                active=[self.multipliers_in_use or self.num_ms],
+            )
 
     def record_forwarding(self, count: int) -> None:
         """Operand hops over the neighbour forwarding links (LMN only)."""

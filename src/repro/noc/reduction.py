@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.errors import ConfigurationError, MappingError
 from repro.noc.base import ClockedComponent
@@ -108,6 +108,40 @@ class ReductionNetwork(ClockedComponent):
         """Cycles to push ``outputs`` completed psums to the write port."""
         return math.ceil(outputs / self.bandwidth) if outputs else 0
 
+    # ---- spatial fabric decomposition -----------------------------------
+    def fabric_level_widths(self) -> List[int]:
+        """Physical adders per tree level, leaf-adjacent first."""
+        from repro.observability.fabric import tournament_levels
+
+        return tournament_levels(self.num_inputs)
+
+    def fabric_reduction_levels(self, cluster_size: int) -> List[int]:
+        """Per-level adder ops of one cluster wave, leaf-adjacent first.
+
+        A ``cluster_size``-leaf virtual tree exercises the tournament
+        halving of its leaves — the entries sum to ``cluster_size - 1``,
+        exactly the :attr:`adder_counter` charge of one wave — padded
+        with zeros to the physical depth so every cluster shape charges
+        the same level geometry.
+        """
+        from repro.observability.fabric import tournament_levels
+
+        counts = tournament_levels(cluster_size)
+        depth = len(self.fabric_level_widths())
+        return counts + [0] * (depth - len(counts))
+
+    def _record_fabric_reductions(self, cluster_size: int, waves: int) -> None:
+        fabric = self.obs.fabric
+        if fabric is None:
+            return
+        fabric.charge_levels(
+            "rn",
+            self.adder_counter,
+            self.fabric_reduction_levels(cluster_size),
+            self.fabric_level_widths(),
+            times=waves,
+        )
+
     # ---- activity -----------------------------------------------------------
     def record_reduction_wave(self, cluster_sizes: Sequence[int]) -> None:
         """Account one wave of cluster reductions (adders + wires)."""
@@ -115,6 +149,25 @@ class ReductionNetwork(ClockedComponent):
         wires = sum(self._wave_wires(size) for size in cluster_sizes)
         self.counters.add(self.adder_counter, adders)
         self.counters.add("rn_wire_traversals", wires)
+        for size in cluster_sizes:
+            self._record_fabric_reductions(int(size), 1)
+
+    def record_cluster_reductions(self, cluster_size: int, waves: int) -> None:
+        """Account ``waves`` reduction waves of one ``cluster_size`` cluster.
+
+        The shared charging site of the dense cycle walk, the vector
+        engine's closed-form path and the sparse controller — replacing
+        their former inline counter adds, byte for byte: the wire charge
+        is the inline sites' ``2*size - 1`` (deliberately *not*
+        :meth:`_wave_wires`, which the linear RN narrows), and the fabric
+        split sums to the adder charge exactly.
+        """
+        size = int(cluster_size)
+        if waves <= 0 or size <= 0:
+            return
+        self.counters.add(self.adder_counter, waves * max(0, size - 1))
+        self.counters.add("rn_wire_traversals", waves * (2 * size - 1))
+        self._record_fabric_reductions(size, waves)
 
     def _wave_wires(self, cluster_size: int) -> int:
         # Every product and every intermediate psum travels one link.
@@ -243,6 +296,13 @@ class LinearReductionNetwork(ReductionNetwork):
     def _wave_wires(self, cluster_size: int) -> int:
         # products hop through the accumulator chain once each
         return cluster_size
+
+    def fabric_level_widths(self) -> List[int]:
+        # one flat bank of per-lane accumulators — a single level
+        return [self.num_inputs]
+
+    def fabric_reduction_levels(self, cluster_size: int) -> List[int]:
+        return [max(0, int(cluster_size) - 1)]
 
     @property
     def num_adders(self) -> int:

@@ -14,7 +14,11 @@ Three coordinated instruments over one simulation:
 plus :mod:`repro.observability.stalls` (cycle-exact stall attribution:
 every simulated cycle of every component classified into a closed
 taxonomy under a conservation invariant, surfaced as ``stonne insight
-explain``), :mod:`repro.observability.provenance` (run metadata stamped
+explain``), :mod:`repro.observability.fabric` (the fabric observatory:
+spatially-resolved per-level DN/MN/RN utilization, per-link congestion
+and tier-boundary FIFO occupancy under an exact consistency invariant,
+surfaced as ``stonne insight fabric``), :mod:`repro.observability.
+provenance` (run metadata stamped
 on every report), :mod:`repro.observability.validate` (trace schema
 checking) and :mod:`repro.observability.telemetry` (host-side metrics
 facade, sampling hotspot profiler, live progress, Prometheus/JSONL
@@ -37,6 +41,17 @@ See ``docs/OBSERVABILITY.md`` for the full workflow.
 """
 
 from repro.observability.context import DISABLED, TRACE_COUNTER_SERIES, Observability
+from repro.observability.fabric import (
+    FABRIC_COUNTERS,
+    FABRIC_TIERS,
+    FIFO_ANCHORS,
+    FabricConsistencyError,
+    FabricLedger,
+    hottest_links,
+    merge_fabric,
+    tournament_levels,
+    validate_fabric,
+)
 from repro.observability.metrics import (
     HEADLINE_COUNTERS,
     MetricsRecorder,
@@ -80,6 +95,11 @@ from repro.observability.validate import validate_chrome_trace, validate_metrics
 
 __all__ = [
     "DISABLED",
+    "FABRIC_COUNTERS",
+    "FABRIC_TIERS",
+    "FIFO_ANCHORS",
+    "FabricConsistencyError",
+    "FabricLedger",
     "HEADLINE_COUNTERS",
     "HotspotReport",
     "HotspotSampler",
@@ -106,10 +126,14 @@ __all__ = [
     "config_hash",
     "default_registry_dir",
     "enable_telemetry",
+    "hottest_links",
+    "merge_fabric",
     "merge_ledgers",
     "parse_chrome_trace",
     "registry_enabled",
     "run_metadata",
+    "tournament_levels",
+    "validate_fabric",
     "validate_ledger",
     "telemetry",
     "to_prometheus",

@@ -24,6 +24,7 @@ from repro.observability.metrics import (
     MetricsRecorder,
     MetricsSample,
 )
+from repro.observability.fabric import FabricLedger
 from repro.observability.profiler import NULL_PROFILER, NullProfiler, Profiler
 from repro.observability.stalls import StallLedger
 from repro.observability.tracer import NULL_TRACER, NullTracer, Tracer
@@ -42,6 +43,7 @@ class Observability:
         metrics: Optional[MetricsRecorder] = None,
         profiler: Optional[NullProfiler] = None,
         stalls: Optional[StallLedger] = None,
+        fabric: Optional[FabricLedger] = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
@@ -49,6 +51,9 @@ class Observability:
         #: stall-attribution ledger; ``None`` keeps every charging site a
         #: single attribute test (attribution is off by default)
         self.stalls = stalls
+        #: spatial fabric ledger (per-level DN/MN/RN + FIFO occupancy);
+        #: same off-by-default single-attribute-test discipline
+        self.fabric = fabric
         #: absolute cycle at which the current layer started
         self.base = 0
         self._snapshot: Optional[Callable[[], CounterSet]] = None
@@ -56,19 +61,22 @@ class Observability:
 
     @classmethod
     def create(cls, trace: bool = False, metrics_every: int = 0,
-               profile: bool = False, stalls: bool = False) -> "Observability":
+               profile: bool = False, stalls: bool = False,
+               fabric: bool = False) -> "Observability":
         """Convenience factory from the CLI-flag view of the options."""
         return cls(
             tracer=Tracer() if trace else None,
             metrics=MetricsRecorder(every=metrics_every) if metrics_every else None,
             profiler=Profiler() if profile else None,
             stalls=StallLedger() if stalls else None,
+            fabric=FabricLedger() if fabric else None,
         )
 
     @property
     def enabled(self) -> bool:
         return (self.tracer.enabled or self.metrics is not None
-                or self.profiler.enabled or self.stalls is not None)
+                or self.profiler.enabled or self.stalls is not None
+                or self.fabric is not None)
 
     # ---- accelerator protocol -----------------------------------------
     def bind(self, snapshot: Callable[[], CounterSet]) -> None:
@@ -81,6 +89,8 @@ class Observability:
             self._emitted_at_layer_start = self.metrics.total_emitted
         if self.stalls is not None:
             self.stalls.reset()
+        if self.fabric is not None:
+            self.fabric.reset()
 
     def layer_samples(self) -> List[MetricsSample]:
         """Samples emitted since :meth:`start_layer` (ring-bounded)."""

@@ -21,6 +21,11 @@ Runnable as a module (also reachable as ``stonne insight ...``)::
     python -m repro.observability.insight diff <run> <run>
     python -m repro.observability.insight check --baseline baseline.json
     python -m repro.observability.insight report latest -o report.html
+    python -m repro.observability.insight fabric latest
+
+``fabric`` (and the matching report section) reads the spatially-
+resolved per-level DN/MN/RN ledgers recorded with ``--fabric`` — see
+:mod:`repro.observability.fabric`.
 """
 
 from __future__ import annotations
@@ -33,6 +38,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.observability.fabric import (
+    FABRIC_TIERS,
+    hottest_links,
+    merge_fabric,
+    validate_fabric,
+)
 from repro.observability.registry import RunRecord, RunRegistry
 from repro.observability.stalls import (
     STALL_BUCKETS,
@@ -321,6 +332,152 @@ def _format_explain_diff_text(result: Mapping) -> str:
             continue
         lines.append(f"{bucket:<22s} {delta['old']:>12,d} "
                      f"{delta['new']:>12,d} {delta['delta']:>+12,d}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# fabric observatory (spatially-resolved, from extra["fabric"])
+# ----------------------------------------------------------------------
+def fabric_record(record: RunRecord) -> Dict[str, object]:
+    """Spatially-resolved fabric view of one registered run.
+
+    Merges the per-layer fabric ledgers into a run-level payload (levels
+    and link counts add, FIFO watermarks keep the max), re-validates the
+    consistency invariant of every layer against its own counter delta,
+    and ranks the hottest individual links. Raises :class:`ValueError`
+    with an actionable message when the run carries no fabric ledgers
+    (it was recorded without ``--fabric``).
+    """
+    ledgers: List[Mapping[str, object]] = []
+    layers: List[Dict[str, object]] = []
+    violations: List[str] = []
+    uninstrumented: List[str] = []
+    covered = 0
+    total = record.total_cycles or 0
+    for index, layer in enumerate(record.layers):
+        fabric = layer.get("fabric")
+        if fabric is None:
+            continue
+        name = layer.get("name", f"layer[{index}]")
+        cycles = int(layer.get("cycles", 0))
+        counters = layer.get("counters", {})
+        violations += [
+            f"{name}: {problem}"
+            for problem in validate_fabric(fabric, counters, cycles)
+        ]
+        if fabric.get("uninstrumented"):
+            uninstrumented.append(name)
+        tiers = fabric.get("tiers") or {}
+        if not tiers:
+            # a layer that touched no instrumented fabric (e.g. maxpool)
+            # contributes nothing spatial; keep it out of the merge so
+            # tier geometry checks only compare fabric-active layers
+            continue
+        covered += cycles
+        ledgers.append(fabric)
+        row: Dict[str, object] = {
+            "layer": name,
+            "kind": layer.get("kind", "?"),
+            "cycles": cycles,
+            "share": (cycles / total) if total else 0.0,
+        }
+        for tier in FABRIC_TIERS:
+            utilization = (tiers.get(tier) or {}).get("utilization") or []
+            row[tier] = max(utilization) if utilization else 0.0
+        row["fifo_hwm"] = {
+            fifo_name: int(cell.get("high_watermark", 0))
+            for fifo_name, cell in (fabric.get("fifos") or {}).items()
+        }
+        layers.append(row)
+    if not ledgers:
+        raise ValueError(
+            f"run {record.run_id} has no fabric ledgers — re-run the "
+            f"workload with --fabric (CLI) or "
+            f"Observability.create(fabric=True) (API) to record the "
+            f"fabric observatory"
+        )
+    merged = merge_fabric(ledgers)
+    return {
+        "run_id": record.run_id,
+        "workload": record.workload,
+        "config_name": record.config_name,
+        "config_hash": record.config_hash,
+        "total_cycles": total,
+        "covered_cycles": covered,
+        "coverage": (covered / total) if total else 1.0,
+        "fabric": merged,
+        "hottest_links": hottest_links(merged),
+        "layers": layers,
+        "uninstrumented": uninstrumented,
+        "consistency": {"ok": not violations, "violations": violations},
+    }
+
+
+def _format_fabric_text(result: Mapping, top: int) -> str:
+    lines = [
+        f"run {result['run_id']}  {result['workload']}  "
+        f"config {result['config_hash'] or result['config_name']}",
+        f"{result['total_cycles']:,} cycles, fabric ledgers on "
+        f"{len(result['layers'])} layer(s), "
+        f"coverage {result['coverage']:.1%}",
+    ]
+    fabric = result["fabric"]
+    tiers = fabric.get("tiers") or {}
+    for tier in FABRIC_TIERS:
+        cell = tiers.get(tier)
+        if cell is None:
+            continue
+        lines.append("")
+        lines.append(f"{tier.upper()} (anchor {cell['counter']}):")
+        lines.append(f"  {'level':>5s} {'links':>6s} {'busy':>14s} "
+                     f"{'util/link':>10s}")
+        for index, level in enumerate(cell["levels"]):
+            width = cell["links_per_level"][index]
+            util = cell["utilization"][index]
+            bar = "#" * max(0, min(40, round(40 * util)))
+            lines.append(f"  {index:>5d} {width:>6d} {level:>14,d} "
+                         f"{util:>10.2%}  {bar}")
+    fifos = fabric.get("fifos") or {}
+    if fifos:
+        lines.append("")
+        lines.append("tier-boundary FIFO occupancy:")
+        lines.append(f"  {'fifo':<8s} {'cap':>4s} {'pushes':>12s} "
+                     f"{'pops':>12s} {'hwm':>4s}")
+        for name in sorted(fifos):
+            cell = fifos[name]
+            flag = ("  NEAR CAPACITY"
+                    if int(cell["high_watermark"]) >= int(cell["capacity"])
+                    else "")
+            lines.append(f"  {name:<8s} {cell['capacity']:>4d} "
+                         f"{cell['pushes']:>12,d} {cell['pops']:>12,d} "
+                         f"{cell['high_watermark']:>4d}{flag}")
+    links = result["hottest_links"][:max(0, int(top))]
+    if links:
+        lines.append("")
+        lines.append(f"hottest {len(links)} link(s):")
+        lines.append(f"  {'tier':<5s} {'level':>5s} {'link':>5s} "
+                     f"{'traversals':>12s} {'per cycle':>10s}")
+        for row in links:
+            lines.append(f"  {row['tier']:<5s} {row['level']:>5d} "
+                         f"{row['link']:>5d} {row['traversals']:>12,d} "
+                         f"{row['per_cycle']:>10.4f}")
+    ranked = sorted(result["layers"],
+                    key=lambda row: (-row["cycles"], row["layer"]))[:top]
+    if ranked:
+        lines.append("")
+        lines.append(f"top {len(ranked)} layers by cycles "
+                     f"(peak level utilization):")
+        lines.append(f"  {'layer':<26s} {'kind':<8s} {'cycles':>10s} "
+                     f"{'share':>6s} {'dn':>7s} {'mn':>7s} {'rn':>7s}")
+        for row in ranked:
+            lines.append(f"  {row['layer'][:26]:<26s} {row['kind']:<8s} "
+                         f"{row['cycles']:>10,d} {row['share']:>6.1%} "
+                         f"{row['dn']:>7.1%} {row['mn']:>7.1%} "
+                         f"{row['rn']:>7.1%}")
+    if result["uninstrumented"]:
+        lines.append("")
+        lines.append("WARNING: NoC activity without fabric instrumentation "
+                     "in: " + ", ".join(result["uninstrumented"]))
     return "\n".join(lines) + "\n"
 
 
@@ -740,6 +897,153 @@ def _stall_sections(record: RunRecord) -> List[str]:
     ]
 
 
+#: tier accent colors for the fabric tree heatmap — matched to the
+#: bottleneck palette (DN = distribution, MN = compute, RN = reduction)
+_FABRIC_TIER_COLORS = {
+    "dn": "#f58518",
+    "mn": "#4c78a8",
+    "rn": "#54a24b",
+}
+
+
+def _fabric_tree_svg(fabric: Mapping, label_w: int = 90,
+                     max_w: int = 840) -> str:
+    """Per-tier tree heatmap: one row per level, one cell per link.
+
+    Cell opacity scales with the link's traversal count relative to the
+    tier's busiest link; tiers without per-link detail (widest level
+    beyond the link-detail limit) fall back to one cell per level shaded
+    by that level's utilization.
+    """
+    tiers = fabric.get("tiers") or {}
+    parts: List[str] = []
+    y = 0
+    rows: List[str] = []
+    for tier in FABRIC_TIERS:
+        cell = tiers.get(tier)
+        if cell is None:
+            continue
+        color = _FABRIC_TIER_COLORS[tier]
+        levels: List[int] = [int(v) for v in cell["levels"]]
+        widths: List[int] = [int(v) for v in cell["links_per_level"]]
+        links = cell.get("links")
+        peak = max(
+            (max(row) for row in links if row), default=0
+        ) if links else 0
+        row_h = 16
+        for index, level_total in enumerate(levels):
+            rows.append(
+                f'<text x="{label_w - 6}" y="{y + row_h - 4}" '
+                f'font-size="10" text-anchor="end" fill="#333">'
+                f"{tier} L{index}</text>"
+            )
+            if links is not None and peak:
+                row = links[index]
+                cell_w = max(2.0, min(22.0, max_w / max(1, len(row))))
+                for link, count in enumerate(row):
+                    opacity = max(0.05, count / peak) if count else 0.04
+                    title = (f"{tier} level {index} link {link}: "
+                             f"{count} traversals")
+                    rows.append(
+                        f'<rect x="{label_w + link * cell_w:.1f}" y="{y}" '
+                        f'width="{max(cell_w - 1, 1):.1f}" '
+                        f'height="{row_h - 2}" fill="{color}" '
+                        f'fill-opacity="{opacity:.3f}" stroke="#eee" '
+                        f'stroke-width="0.5">'
+                        f"<title>{_esc(title)}</title></rect>"
+                    )
+            else:
+                utilization = float(cell["utilization"][index])
+                title = (f"{tier} level {index}: {level_total} traversals "
+                         f"over {widths[index]} links "
+                         f"({utilization:.1%} busy)")
+                rows.append(
+                    f'<rect x="{label_w}" y="{y}" width="{max_w}" '
+                    f'height="{row_h - 2}" fill="{color}" '
+                    f'fill-opacity="{max(0.05, utilization):.3f}" '
+                    f'stroke="#eee" stroke-width="0.5">'
+                    f"<title>{_esc(title)}</title></rect>"
+                )
+            y += row_h
+        y += 6
+    if not rows:
+        return "<p>(no fabric tiers charged)</p>"
+    width = label_w + max_w + 8
+    parts.append(
+        f'<svg viewBox="0 0 {width} {y}" width="{width}" height="{y}" '
+        f'role="img" aria-label="fabric tree heatmap">'
+    )
+    parts += rows
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _fabric_fifo_table(fifos: Mapping) -> str:
+    body = "".join(
+        "<tr class='{cls}'>"
+        "<td><code>{name}</code></td><td class='num'>{cap}</td>"
+        "<td class='num'>{pushes:,}</td><td class='num'>{pops:,}</td>"
+        "<td class='num'>{hwm}</td><td>{note}</td></tr>".format(
+            cls="bad" if cell["high_watermark"] >= cell["capacity"] else "",
+            name=_esc(name),
+            cap=cell["capacity"],
+            pushes=cell["pushes"],
+            pops=cell["pops"],
+            hwm=cell["high_watermark"],
+            note=("hit capacity — backpressure risk"
+                  if cell["high_watermark"] >= cell["capacity"] else ""),
+        )
+        for name, cell in sorted(fifos.items())
+    )
+    return (
+        "<table><thead><tr><th>fifo</th><th>capacity</th><th>pushes</th>"
+        "<th>pops</th><th>high watermark</th><th></th></tr></thead>"
+        "<tbody>" + body + "</tbody></table>"
+    )
+
+
+def _fabric_sections(record: RunRecord) -> List[str]:
+    """The 'Fabric observatory' report block (empty without ledgers)."""
+    try:
+        result = fabric_record(record)
+    except ValueError:
+        return []
+    fabric = result["fabric"]
+    sections = [
+        "<h2>Fabric observatory — per-level utilization</h2>",
+        _fabric_tree_svg(fabric),
+    ]
+    links = result["hottest_links"][:5]
+    if links:
+        hottest = "".join(
+            f"<tr><td>{_esc(row['tier'])}</td>"
+            f"<td class='num'>{row['level']}</td>"
+            f"<td class='num'>{row['link']}</td>"
+            f"<td class='num'>{row['traversals']:,}</td>"
+            f"<td class='num'>{row['per_cycle']:.4f}</td></tr>"
+            for row in links
+        )
+        sections.append(
+            "<h3>Hottest links</h3>"
+            "<table><thead><tr><th>tier</th><th>level</th><th>link</th>"
+            "<th>traversals</th><th>per cycle</th></tr></thead><tbody>"
+            + hottest + "</tbody></table>"
+        )
+    fifos = fabric.get("fifos") or {}
+    if fifos:
+        sections.append("<h3>Tier-boundary FIFO occupancy</h3>")
+        sections.append(_fabric_fifo_table(fifos))
+    sections.append(
+        "<p class='note'>consistency: every tier's per-level busy sums "
+        "equal the layer's aggregate NoC counters exactly</p>"
+        if result["consistency"]["ok"] else
+        "<p class='note' style='color:#c00'>consistency VIOLATED: "
+        + _esc("; ".join(result["consistency"]["violations"][:5]))
+        + "</p>"
+    )
+    return sections
+
+
 def _regression_table(results: List[Dict]) -> str:
     body = "".join(
         "<tr class='{cls}'>"
@@ -840,6 +1144,7 @@ def render_html(
         f"<table>{util_rows or '<tr><td>(none)</td></tr>'}</table>",
     ]
     sections += _stall_sections(record)
+    sections += _fabric_sections(record)
     if check_results is not None:
         sections += ["<h2>Regression check</h2>",
                      _regression_table(check_results)]
@@ -1067,6 +1372,24 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    with _open_registry(args) as registry:
+        result = fabric_record(registry.resolve(args.run))
+    text = (json.dumps(result, indent=2) + "\n"
+            if args.format == "json"
+            else _format_fabric_text(result, top=args.top))
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"fabric view written to {args.out}")
+    else:
+        print(text, end="")
+    if not result["consistency"]["ok"]:
+        for violation in result["consistency"]["violations"]:
+            print(f"CONSISTENCY VIOLATED: {violation}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_export_baseline(args: argparse.Namespace) -> int:
     with _open_registry(args) as registry:
         records = [registry.resolve(ref) for ref in args.runs]
@@ -1203,6 +1526,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="layers shown in the text table")
     cmd.add_argument("-o", "--out", help="output path (default: stdout)")
     cmd.set_defaults(func=_cmd_explain)
+
+    cmd = sub.add_parser(
+        "fabric",
+        help="spatially-resolved DN/MN/RN utilization, hottest links and "
+             "FIFO occupancy (requires a run recorded with --fabric)",
+    )
+    cmd.add_argument("run", nargs="?", default="latest",
+                     help="run id, unique prefix, or 'latest' (default)")
+    cmd.add_argument("--format", choices=("text", "json"), default="text")
+    cmd.add_argument("--top", type=int, default=10,
+                     help="links and layers shown in the text tables")
+    cmd.add_argument("-o", "--out", help="output path (default: stdout)")
+    cmd.set_defaults(func=_cmd_fabric)
 
     cmd = sub.add_parser(
         "prune", help="keep only the newest N runs per (workload, config)"

@@ -41,8 +41,12 @@ from typing import Dict, List, Mapping, Optional, Union
 from repro.observability.telemetry.facade import telemetry
 
 #: bump when the stored record payload changes shape
-#: (2: per-layer stall-attribution ledgers persisted as layer["stalls"])
-SCHEMA_VERSION = 2
+#: (2: per-layer stall-attribution ledgers persisted as layer["stalls"];
+#:  3: per-layer fabric-observatory ledgers persisted as layer["fabric"])
+#: Readers must stay backward compatible: payloads are plain JSON and
+#: older records simply lack the newer per-layer keys, so every consumer
+#: treats layer["stalls"] / layer["fabric"] as optional.
+SCHEMA_VERSION = 3
 
 #: environment override for the registry directory
 RUNS_DIR_ENV = "STONNE_RUNS_DIR"
@@ -92,6 +96,14 @@ class RunRecord:
     def layers(self) -> List[Dict]:
         return list(self.payload.get("layers", []))
 
+    @property
+    def schema(self) -> int:
+        """Payload schema version; pre-versioning records read as 1."""
+        try:
+            return int(self.payload.get("schema", 1))
+        except (TypeError, ValueError):
+            return 1
+
     def as_dict(self) -> Dict:
         return {
             "run_id": self.run_id,
@@ -138,6 +150,9 @@ class RunRecord:
             stalls = extra_blob.get("stalls")
             if stalls is not None:
                 row["stalls"] = stalls
+            fabric = extra_blob.get("fabric")
+            if fabric is not None:
+                row["fabric"] = fabric
             row["energy_total_uj"] = round(layer.energy(config).total_uj, 6)
             layers.append(row)
         payload: Dict = {

@@ -57,6 +57,7 @@ def _simulate_workload(
     trace: bool = False,
     metrics_every: int = 0,
     stalls: bool = False,
+    fabric: bool = False,
 ) -> Dict:
     """Time one workload on a fresh accelerator; plain-data result.
 
@@ -68,7 +69,8 @@ def _simulate_workload(
     """
     started = time.perf_counter()
     obs = Observability.create(
-        trace=trace, metrics_every=metrics_every, stalls=stalls
+        trace=trace, metrics_every=metrics_every, stalls=stalls,
+        fabric=fabric,
     )
     acc = Accelerator(config, observability=obs)
     params = workload.params
@@ -121,10 +123,13 @@ def _simulate_workload_in_worker(
     trace: bool,
     metrics_every: int,
     stalls: bool = False,
+    fabric: bool = False,
 ) -> Dict:
     """The function submitted to the pool (separate name so tests can
     fault-inject the remote path without touching the serial fallback)."""
-    return _simulate_workload(config, workload, trace, metrics_every, stalls)
+    return _simulate_workload(
+        config, workload, trace, metrics_every, stalls, fabric
+    )
 
 
 # ----------------------------------------------------------------------
@@ -200,11 +205,12 @@ class ParallelModelRunner:
         self._executor = executor
 
     # ---- simulation of the distinct workloads -------------------------
-    def _worker_flags(self) -> Tuple[bool, int, bool]:
+    def _worker_flags(self) -> Tuple[bool, int, bool, bool]:
         trace = self.obs.tracer.enabled
         every = self.obs.metrics.every if self.obs.metrics is not None else 0
         stalls = self.obs.stalls is not None
-        return trace, every, stalls
+        fabric = self.obs.fabric is not None
+        return trace, every, stalls, fabric
 
     def _emit_progress(self, workload: LayerWorkload, mode: str) -> None:
         if self.progress is not None:
@@ -231,13 +237,13 @@ class ParallelModelRunner:
     ) -> Tuple[Dict[int, Dict], int]:
         """Time the given workloads; returns index→bundle and the number
         that fell back to serial execution."""
-        trace, every, stalls = self._worker_flags()
+        trace, every, stalls, fabric = self._worker_flags()
         results: Dict[int, Dict] = {}
         fallbacks = 0
         if self.jobs == 1 or len(misses) <= 1:
             for workload in misses:
                 results[workload.index] = _simulate_workload(
-                    self.config, workload, trace, every, stalls
+                    self.config, workload, trace, every, stalls, fabric
                 )
                 self._note_task(results[workload.index], "simulated")
                 self._emit_progress(workload, "simulated")
@@ -256,7 +262,7 @@ class ParallelModelRunner:
             try:
                 futures[workload.index] = executor.submit(
                     _simulate_workload_in_worker,
-                    self.config, workload, trace, every, stalls,
+                    self.config, workload, trace, every, stalls, fabric,
                 )
             # stonne: lint-ok[EXC-BROAD] submit fails with arbitrary types (pickling, pool state); the serial fallback below retypes real errors
             except Exception:
@@ -283,7 +289,7 @@ class ParallelModelRunner:
                 fallbacks += 1
                 mode = "fallback"
                 bundle = _simulate_workload(
-                    self.config, workload, trace, every, stalls
+                    self.config, workload, trace, every, stalls, fabric
                 )
             results[workload.index] = bundle
             pending -= 1
@@ -337,12 +343,17 @@ class ParallelModelRunner:
 
         stage_started = time.perf_counter()
         with profiler.phase("simulate"):
-            # Stall attribution runs uncached: ledgers ride in the layer
-            # extras the cache stores verbatim, and replaying ledger-free
-            # payloads into an attributed run (or vice versa) would mix
-            # the two populations. Cycles/counters are unaffected — only
-            # the warm-cache speedup is given up while attributing.
-            cache = self.cache if self.obs.stalls is None else None
+            # Stall and fabric attribution run uncached: ledgers ride in
+            # the layer extras the cache stores verbatim, and replaying
+            # ledger-free payloads into an attributed run (or vice versa)
+            # would mix the two populations. Cycles/counters are
+            # unaffected — only the warm-cache speedup is given up while
+            # attributing.
+            cache = (
+                self.cache
+                if self.obs.stalls is None and self.obs.fabric is None
+                else None
+            )
             keys: Dict[int, Optional[str]] = {
                 w.index: (
                     cache.key(w, self.config)

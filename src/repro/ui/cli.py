@@ -109,6 +109,10 @@ def _add_hw_args(parser: argparse.ArgumentParser) -> None:
                         help="attribute every simulated cycle to a stall "
                              "bucket; inspect with 'stonne insight explain' "
                              "(bypasses the simulation cache)")
+    parser.add_argument("--fabric", action="store_true",
+                        help="record spatially-resolved DN/MN/RN utilization "
+                             "and FIFO occupancy; inspect with 'stonne "
+                             "insight fabric' (bypasses the simulation cache)")
     parser.add_argument("--telemetry", action="store_true",
                         help="collect host-side telemetry (cache/pool/registry "
                              "metrics); printed to stderr unless "
@@ -196,6 +200,7 @@ def _make_observability(args: argparse.Namespace) -> Observability:
         metrics_every=metrics_every,
         profile=args.profile,
         stalls=bool(getattr(args, "stalls", False)),
+        fabric=bool(getattr(args, "fabric", False)),
     )
 
 

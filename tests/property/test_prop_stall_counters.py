@@ -7,11 +7,12 @@ behind the registry's back (a phantom that prices at zero energy), and
 a registered name nothing ever increments (dead weight that lint keeps
 alive). Both are pinned here against the real simulator:
 
-- a full zoo × {tpu, maeri, sigma} sweep **with stall attribution on**
-  must increment only registered names (counters and ledger buckets
-  mapped through ``BUCKET_COUNTERS``), and — together with one targeted
-  narrow-RN workload for ``fifo_backpressure`` — must reach *every*
-  registered name;
+- a full zoo × {tpu, maeri, sigma} sweep **with stall attribution and
+  the fabric observatory on** must increment only registered names
+  (counters, ledger buckets mapped through ``BUCKET_COUNTERS``, fabric
+  tiers through ``FABRIC_COUNTERS``/``FIFO_OCCUPANCY_COUNTERS``), and —
+  together with one targeted narrow-RN workload for
+  ``fifo_backpressure`` — must reach *every* registered name;
 - Hypothesis-drawn GEMMs on sampled presets must stay inside the
   universe and keep ledger conservation, whatever the shape.
 """
@@ -28,6 +29,10 @@ from repro.experiments.fig5 import architecture_config
 from repro.frontend.models import MODEL_NAMES, build_model, model_input
 from repro.frontend.simulated import detach_context, simulate
 from repro.observability import Observability
+from repro.observability.fabric import (
+    FABRIC_COUNTERS,
+    FIFO_OCCUPANCY_COUNTERS,
+)
 from repro.observability.stalls import (
     BUCKET_COUNTERS,
     STALL_BUCKETS,
@@ -38,12 +43,19 @@ ARCHS = ("tpu", "maeri", "sigma")
 
 
 def _observed_names(report):
-    """Counter names plus ledger buckets as their registered names."""
+    """Counter names plus ledger/fabric payloads as registered names."""
     names = set()
     for layer in report.layers:
         names |= set(layer.counters.as_dict())
         for buckets in layer.extra.get("stalls", {}).values():
             names |= {BUCKET_COUNTERS[bucket] for bucket in buckets}
+        fabric = layer.extra.get("fabric") or {}
+        names |= {
+            FABRIC_COUNTERS[tier] for tier in fabric.get("tiers", {})
+        }
+        if fabric.get("fifos"):
+            # every FIFO cell carries depth windows and a high-watermark
+            names |= set(FIFO_OCCUPANCY_COUNTERS.values())
     return names
 
 
@@ -53,7 +65,7 @@ def zoo_observed():
     observed = set()
     for arch in ARCHS:
         for model_name in MODEL_NAMES:
-            obs = Observability.create(stalls=True)
+            obs = Observability.create(stalls=True, fabric=True)
             acc = Accelerator(architecture_config(arch), observability=obs)
             model = build_model(model_name, seed=0)
             x = model_input(model_name, batch=1, seed=1)

@@ -1,0 +1,22 @@
+-- Committed mixed-schema registry fixture: one schema-v1 record
+-- (pre-versioning, no per-layer stalls/fabric) and one schema-v2
+-- record (stall ledgers, no fabric). Regenerate only if the runs
+-- table DDL changes; readers must keep accepting these rows.
+BEGIN TRANSACTION;
+CREATE TABLE runs (
+    run_id          TEXT PRIMARY KEY,
+    created_utc     TEXT NOT NULL,
+    workload        TEXT NOT NULL,
+    source          TEXT NOT NULL,
+    config_name     TEXT NOT NULL,
+    config_hash     TEXT NOT NULL,
+    total_cycles    INTEGER NOT NULL,
+    total_macs      INTEGER NOT NULL,
+    energy_total_uj REAL NOT NULL,
+    wall_clock_s    REAL,
+    cached          INTEGER NOT NULL DEFAULT 0,
+    payload         TEXT NOT NULL
+);
+INSERT INTO "runs" VALUES('aaaa1111bbbb','2026-05-01T10:00:00+00:00','gemm:legacy-v1','cli','maeri-like','334547176c1c671f',81,1024,0.012237,0.01,0,'{"workload": "gemm:legacy-v1", "metadata": {"tool": "stonne-repro", "version": "1.0.0", "python": "3.11.7", "numpy": "2.4.6", "platform": "Linux-6.18.5-fc-v20-x86_64-with-glibc2.36", "timestamp": "2026-08-08T07:06:16+00:00", "config_name": "maeri-like", "config_hash": "334547176c1c671f"}, "config": {"name": "maeri-like", "num_ms": 16, "dn_bandwidth": 8, "rn_bandwidth": 8, "clock_ghz": 1.0, "dtype": "fp8", "controller": "DC", "dram_bandwidth_gbps": 512.0}, "totals": {"cycles": 81, "macs": 1024, "runtime_us": 0.081, "energy_total_uj": 0.012237}, "utilization": {"multiplier_utilization": 0.790123, "dn_port_occupancy": 0.493827, "gb_read_port_occupancy": 0.493827, "gb_write_port_occupancy": 0.395062}, "metrics": {"samples": 0.0}, "layers": [{"name": "legacy-gemm", "kind": "gemm", "cycles": 81, "macs": 1024, "outputs": 256, "multiplier_utilization": 0.7901234567901234, "counters": {"ctrl_cycles": 81, "ctrl_fifo_pops": 256, "ctrl_fifo_pushes": 256, "ctrl_layers_run": 1, "dn_busy_cycles": 40, "dn_elements_sent": 320, "dn_switch_traversals": 2048, "dn_wire_traversals": 3136, "dram_bytes_read": 128, "dram_bytes_written": 256, "dram_row_hits": 1, "dram_row_misses": 1, "gb_fills": 128, "gb_reads": 320, "gb_writes": 256, "mn_multiplications": 1024, "mn_reconfigurations": 1, "rn_accumulator_ops": 256, "rn_adder_ops_3to1": 768, "rn_outputs_written": 256, "rn_reconfigurations": 1, "rn_wire_traversals": 1792}, "energy_total_uj": 0.012237}]}');
+INSERT INTO "runs" VALUES('cccc2222dddd','2026-06-01T10:00:00+00:00','gemm:legacy-v2','cli','maeri-like','334547176c1c671f',81,1024,0.012237,0.01,0,'{"schema": 2, "workload": "gemm:legacy-v2", "metadata": {"tool": "stonne-repro", "version": "1.0.0", "python": "3.11.7", "numpy": "2.4.6", "platform": "Linux-6.18.5-fc-v20-x86_64-with-glibc2.36", "timestamp": "2026-08-08T07:06:16+00:00", "config_name": "maeri-like", "config_hash": "334547176c1c671f"}, "config": {"name": "maeri-like", "num_ms": 16, "dn_bandwidth": 8, "rn_bandwidth": 8, "clock_ghz": 1.0, "dtype": "fp8", "controller": "DC", "dram_bandwidth_gbps": 512.0}, "totals": {"cycles": 81, "macs": 1024, "runtime_us": 0.081, "energy_total_uj": 0.012237}, "utilization": {"multiplier_utilization": 0.790123, "dn_port_occupancy": 0.493827, "gb_read_port_occupancy": 0.493827, "gb_write_port_occupancy": 0.395062}, "metrics": {"samples": 0.0}, "layers": [{"name": "legacy-gemm", "kind": "gemm", "cycles": 81, "macs": 1024, "outputs": 256, "multiplier_utilization": 0.7901234567901234, "counters": {"ctrl_cycles": 81, "ctrl_fifo_pops": 256, "ctrl_fifo_pushes": 256, "ctrl_layers_run": 1, "dn_busy_cycles": 40, "dn_elements_sent": 320, "dn_switch_traversals": 2048, "dn_wire_traversals": 3136, "dram_bytes_read": 128, "dram_bytes_written": 256, "dram_row_hits": 1, "dram_row_misses": 1, "gb_fills": 128, "gb_reads": 320, "gb_writes": 256, "mn_multiplications": 1024, "mn_reconfigurations": 1, "rn_accumulator_ops": 256, "rn_adder_ops_3to1": 768, "rn_outputs_written": 256, "rn_reconfigurations": 1, "rn_wire_traversals": 1792}, "stalls": {"controller": {"compute_busy": 64, "weight_fill": 12, "pipeline_drain": 5}, "dn": {"weight_fill": 8, "pipeline_drain": 1, "noc_distribution": 64, "idle": 8}, "mn": {"compute_busy": 64, "pipeline_drain": 1, "idle": 16}, "rn": {"pipeline_drain": 3, "noc_reduction": 64, "idle": 14}}, "energy_total_uj": 0.012237}]}');
+COMMIT;

@@ -1,4 +1,5 @@
-"""ART virtual-tree allocation: the non-blocking embedding claim."""
+"""ART virtual-tree allocation: the non-blocking embedding claim, and
+the counter/fabric emission of the ART the allocation underpins."""
 
 import numpy as np
 import pytest
@@ -8,6 +9,9 @@ from repro.noc.art_allocation import (
     allocate_virtual_trees,
     reduce_with_allocation,
 )
+from repro.noc.reduction import AugmentedReductionTree
+from repro.observability import Observability
+from repro.observability.fabric import tournament_levels
 
 
 def test_aligned_cluster_is_one_block():
@@ -84,3 +88,51 @@ def test_substrate_must_be_power_of_two():
 def test_positive_sizes_required():
     with pytest.raises(MappingError):
         allocate_virtual_trees([0, 4], num_leaves=8)
+
+
+# ---------------------------------------------------------------------------
+# counter emission of the ART the allocation proves non-blocking
+# ---------------------------------------------------------------------------
+
+def test_virtual_tree_adder_usage_matches_wave_charge():
+    # the structural embedding and the activity accounting agree: a
+    # size-n cluster uses exactly n-1 adders (subtree nodes + horizontal
+    # merges), which is the per-wave adder_counter charge
+    sizes = [5, 3, 7, 1]
+    trees = allocate_virtual_trees(sizes, num_leaves=16)
+    for size, tree in zip(sizes, trees):
+        assert len(tree.adder_nodes) + tree.horizontal_merges == size - 1
+
+
+def test_cluster_reduction_counter_emission():
+    rn = AugmentedReductionTree(num_inputs=16, bandwidth=4)
+    rn.configure_clusters([5, 3, 7, 1])
+    assert rn.counters.get("rn_reconfigurations") == 1
+    rn.record_cluster_reductions(cluster_size=5, waves=3)
+    # ART's 3:1 switches are priced under their own counter name
+    assert rn.counters.get("rn_adder_ops_3to1") == 3 * (5 - 1)
+    assert rn.counters.get("rn_adder_ops") == 0
+    assert rn.counters.get("rn_wire_traversals") == 3 * (2 * 5 - 1)
+
+
+def test_reduction_wave_counter_emission():
+    rn = AugmentedReductionTree(num_inputs=16, bandwidth=4)
+    rn.record_reduction_wave([5, 3])
+    assert rn.counters.get("rn_adder_ops_3to1") == (5 - 1) + (3 - 1)
+    assert rn.counters.get("rn_wire_traversals") == (2 * 5 - 1) + (2 * 3 - 1)
+
+
+def test_fabric_ledger_decomposition_sums_to_counter():
+    rn = AugmentedReductionTree(num_inputs=16, bandwidth=4)
+    rn.obs = Observability.create(fabric=True)
+    rn.record_cluster_reductions(cluster_size=5, waves=2)
+    rn.record_reduction_wave([7, 3])
+    payload = rn.obs.fabric.finalize(rn.counters.as_dict(), total_cycles=8)
+    cell = payload["tiers"]["rn"]
+    assert cell["counter"] == "rn_adder_ops_3to1"
+    assert sum(cell["levels"]) == rn.counters.get("rn_adder_ops_3to1")
+    # per-level geometry is the physical tournament halving of the leaves
+    assert cell["links_per_level"] == tournament_levels(16)
+    # a size-n cluster wave splits as n's tournament, zero-padded deep
+    assert rn.fabric_reduction_levels(5) == [2, 1, 1, 0]
+    assert sum(rn.fabric_reduction_levels(7)) == 7 - 1

@@ -1,4 +1,5 @@
-"""Benes routing: the non-blocking property, verified by construction."""
+"""Benes routing: the non-blocking property, verified by construction,
+and the counter/fabric emission of the network the routing underpins."""
 
 import itertools
 
@@ -6,6 +7,8 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.noc.benes_routing import apply_routing, route_permutation
+from repro.noc.distribution import BenesNetwork
+from repro.observability import Observability
 
 
 def _expected(perm):
@@ -56,3 +59,55 @@ def test_apply_validates_port_count():
     routing = route_permutation(list(range(4)))
     with pytest.raises(ConfigurationError):
         apply_routing(routing, [1, 2])
+
+
+# ---------------------------------------------------------------------------
+# counter emission of the BenesNetwork the routing proves non-blocking
+# ---------------------------------------------------------------------------
+
+def test_unicast_delivery_counter_emission():
+    net = BenesNetwork(num_leaves=16, bandwidth=4)
+    net.record_delivery(unique_values=4, destinations=4)
+    # every unique value walks all switch levels once; unicast adds no
+    # replication copies
+    assert net.counters.get("dn_switch_traversals") == 4 * net.levels
+    assert net.counters.get("dn_wire_traversals") == 4 * net.levels + 4
+    assert net.counters.get("dn_elements_sent") == 4
+
+
+def test_multicast_delivery_counter_emission():
+    net = BenesNetwork(num_leaves=16, bandwidth=4)
+    net.record_delivery(unique_values=2, destinations=10)
+    # the 8 extra delivered copies exit through the final level
+    assert net.counters.get("dn_switch_traversals") == 2 * net.levels + 8
+    assert net.counters.get("dn_wire_traversals") == 2 * net.levels + 8 + 10
+    # one bandwidth slot per unique value (the multicast economy whose
+    # loss makes analytical models optimistic)
+    assert net.delivery_cycles(2, 10) == 1
+
+
+def test_per_stage_switch_count_matches_routing():
+    # the per-level decomposition geometry and the constructive routing
+    # agree on the per-stage switch count: N/2 2x2 switches per stage
+    routing = route_permutation(list(range(16)))
+    stages = 2 * 4 - 1
+    net = BenesNetwork(num_leaves=16, bandwidth=4)
+    widths = net.fabric_level_widths()
+    assert widths == [16 // 2] * net.levels
+    assert routing.num_switch_settings // stages == widths[0]
+
+
+def test_fabric_ledger_decomposition_sums_to_counter():
+    net = BenesNetwork(num_leaves=16, bandwidth=4)
+    net.obs = Observability.create(fabric=True)
+    net.record_delivery(unique_values=3, destinations=12)
+    net.record_delivery(unique_values=5, destinations=5)
+    payload = net.obs.fabric.finalize(net.counters.as_dict(), total_cycles=4)
+    cell = payload["tiers"]["dn"]
+    assert cell["counter"] == "dn_switch_traversals"
+    assert sum(cell["levels"]) == net.counters.get("dn_switch_traversals")
+    assert cell["links_per_level"] == [16 // 2] * net.levels
+    # every unique value crosses every level; the replication copies land
+    # in the final level only
+    assert cell["levels"][0] == 3 + 5
+    assert cell["levels"][-1] == 3 + 5 + (12 - 3)
