@@ -1,8 +1,9 @@
 # Convenience targets for the STONNE reproduction.
 
 .PHONY: install test bench report examples validate trace-smoke \
-	sentinel-smoke telemetry-smoke explain-smoke fabric-smoke differential \
-	differential-vector coverage bench-parallel lint typecheck all clean
+	sentinel-smoke telemetry-smoke explain-smoke fabric-smoke \
+	sanitize-smoke differential differential-vector coverage \
+	bench-parallel lint typecheck all clean
 
 install:
 	pip install -e .
@@ -10,9 +11,30 @@ install:
 test:
 	pytest tests/
 
-# the in-repo static-analysis passes (see docs/STATIC_ANALYSIS.md)
+# the in-repo static-analysis passes (see docs/STATIC_ANALYSIS.md);
+# ratchets against the committed baseline and writes the JSON report
+# that CI uploads as an artifact
 lint:
+	PYTHONPATH=src python -m repro.analysis.lint src/repro \
+		--baseline tests/regression/lint_baseline.json \
+		--format json --output stonne-lint.json > /dev/null
 	PYTHONPATH=src python -m repro.analysis.lint src/repro
+
+# dual-run perturbation harness: a reference simulation and one with an
+# adversarial hash seed + reversed/shuffled submission order must
+# produce byte-identical payloads (with per-window conservation checked
+# in flight), and the seeded order-dependence mutant must be caught
+sanitize-smoke:
+	PYTHONPATH=src python -m repro.analysis.sanitize \
+		--model squeezenet --arch tpu --num-ms 16 \
+		--out stonne-sanitize.json
+	@PYTHONPATH=src python -m repro.analysis.sanitize \
+		--model squeezenet --arch tpu --num-ms 16 \
+		--mutant float-order \
+		--out /tmp/stonne-sanitize-mutant.json; \
+	status=$$?; test $$status -eq 1 \
+		|| { echo "seeded mutant not caught (exit $$status)"; exit 1; }
+	@echo "sanitize smoke OK (mutant caught)"
 
 # strict typing of the core packages; skips gracefully when mypy is absent
 typecheck:

@@ -240,7 +240,11 @@ def all_passes() -> Dict[str, LintPass]:
     import repro.analysis.counters  # noqa: F401
     import repro.analysis.determinism  # noqa: F401
     import repro.analysis.exceptions  # noqa: F401
+    import repro.analysis.floatorder  # noqa: F401
+    import repro.analysis.ledger  # noqa: F401
+    import repro.analysis.obsneutral  # noqa: F401
     import repro.analysis.parsafe  # noqa: F401
+    import repro.analysis.schemadrift  # noqa: F401
 
     return dict(_PASS_REGISTRY)
 
@@ -268,6 +272,16 @@ DRIVER_RULES = (
         id="LINT-SYNTAX",
         summary="file does not parse",
         rationale="nothing can be checked in a file the AST cannot see",
+    ),
+    Rule(
+        id="LINT-UNUSED",
+        summary="suppression comment matches no finding",
+        rationale=(
+            "a lint-ok comment that silences nothing is a stale audit "
+            "trail: the violation it once excused was fixed or moved, "
+            "and leaving the comment grants a blanket waiver to "
+            "whatever lands on that line next"
+        ),
     ),
 )
 

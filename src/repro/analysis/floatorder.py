@@ -1,0 +1,137 @@
+"""FLOAT-ORDER: no order-sensitive float accumulation in timing paths.
+
+Float addition is not associative: ``sum()`` over an iterable whose
+order is not part of the program's contract (a set — hash-order; dict
+views — insertion-order) produces results that can differ in the last
+bits between two runs that are *supposed* to be byte-identical. Cycle
+counts are integers and safe; the energy/utilization paths are floats,
+and a reordered reduction there breaks the differential guarantees
+(serial == parallel == cached, cycle == vector) at the rounding margin
+— the worst kind of flake.
+
+The pass flags ``sum()`` whose iterable is
+
+- a set display / ``set()`` / ``frozenset()`` / set comprehension, or a
+  comprehension iterating one (hash-order: varies per process), or
+- a ``.values()`` / ``.items()`` view, or a comprehension iterating one
+  (insertion-order: a contract no caller actually committed to).
+
+Sanctioned alternatives are never flagged: ``math.fsum`` (order-
+independent — it returns the correctly rounded exact sum) and
+``sum(sorted(...))``. Integer reductions over dict views do exist; they
+are order-safe and carry an annotated suppression instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.core import Finding, Project, Rule, register_pass
+
+#: the packages whose numeric results must be order-independent
+SCOPE_PACKAGES = ("repro.engine", "repro.noc", "repro.memory")
+
+RULES = (
+    Rule(
+        id="FLOAT-SET",
+        summary="sum() over a hash-ordered (set) iterable",
+        rationale=(
+            "set iteration order depends on the hash seed; float "
+            "addition is not associative, so the same run can produce "
+            "different last bits per process"
+        ),
+    ),
+    Rule(
+        id="FLOAT-DICT",
+        summary="sum() over an insertion-ordered dict view",
+        rationale=(
+            "the total silently depends on the order the dict was "
+            "built in; use math.fsum (order-independent, correctly "
+            "rounded) or sum over sorted items"
+        ),
+    ),
+)
+
+
+def _is_set_ish(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _is_dict_view(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("values", "items")
+        and not node.args
+    )
+
+
+def _is_sorted(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "sorted"
+    )
+
+
+def _classify(iterable: ast.expr) -> Optional[str]:
+    """Rule id the iterable violates, or None when order-safe."""
+    if _is_sorted(iterable):
+        return None
+    if _is_set_ish(iterable):
+        return "FLOAT-SET"
+    if _is_dict_view(iterable):
+        return "FLOAT-DICT"
+    if isinstance(iterable, (ast.GeneratorExp, ast.ListComp)):
+        source = iterable.generators[0].iter
+        if _is_sorted(source):
+            return None
+        if _is_set_ish(source):
+            return "FLOAT-SET"
+        if _is_dict_view(source):
+            return "FLOAT-DICT"
+    return None
+
+
+@register_pass(
+    "FLOAT-ORDER",
+    "no sum() over hash-ordered or insertion-ordered iterables in the "
+    "timing/energy packages (math.fsum and sorted() are sanctioned)",
+    RULES,
+)
+def run(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for file in project.in_packages(*SCOPE_PACKAGES):
+        if file.tree is None:
+            continue
+        for node in ast.walk(file.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+                and node.args
+            ):
+                continue
+            rule = _classify(node.args[0])
+            if rule is None:
+                continue
+            what = (
+                "a hash-ordered set" if rule == "FLOAT-SET"
+                else "an insertion-ordered dict view"
+            )
+            findings.append(Finding(
+                rule=rule, path=file.relpath, line=node.lineno,
+                message=(
+                    f"sum() over {what}: float accumulation here is "
+                    "order-sensitive; use math.fsum(...) or sum over "
+                    "sorted(...)"
+                ),
+            ))
+    return findings

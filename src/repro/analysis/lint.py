@@ -28,7 +28,8 @@ from repro.analysis.core import (
 )
 
 #: bump when the JSON report layout changes
-REPORT_SCHEMA_VERSION = 1
+#: (2: optional top-level "baseline" diff block when --baseline is given)
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -39,16 +40,26 @@ class LintResult:
     suppressed: List[Finding]
     files: int
     passes: List[str] = field(default_factory=list)
+    baseline: Optional[Dict[str, object]] = None
 
     @property
     def clean(self) -> bool:
         return not self.findings
 
+    @property
+    def gate(self) -> bool:
+        """Should the run exit non-zero? Against a baseline, only *new*
+        findings gate — the ratchet mode CI uses to adopt a pass on a
+        tree with known findings without hard-blocking on day one."""
+        if self.baseline is not None:
+            return bool(self.baseline["new"])
+        return not self.clean
+
     def as_dict(self) -> Dict[str, object]:
         by_rule: Dict[str, int] = {}
         for finding in self.findings:
             by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
-        return {
+        report: Dict[str, object] = {
             "schema": REPORT_SCHEMA_VERSION,
             "tool": "stonne-lint",
             "passes": list(self.passes),
@@ -61,6 +72,9 @@ class LintResult:
                 "by_rule": dict(sorted(by_rule.items())),
             },
         }
+        if self.baseline is not None:
+            report["baseline"] = dict(self.baseline)
+        return report
 
 
 def _driver_findings(project: Project, known_rules) -> List[Finding]:
@@ -135,6 +149,7 @@ def run_lint(
     by_path = {file.relpath: file for file in project.files}
     findings: List[Finding] = []
     suppressed: List[Finding] = []
+    used: set = set()
     for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
         file = by_path.get(finding.path)
         is_suppressed = False
@@ -142,14 +157,70 @@ def run_lint(
             for suppression in file.suppressions_for(finding.line):
                 if suppression.matches(finding.rule) and suppression.reason:
                     is_suppressed = True
+                    used.add((finding.path, suppression.comment_line))
                     break
         (suppressed if is_suppressed else findings).append(finding)
+
+    # suppression hygiene: a lint-ok that silenced nothing is stale.
+    # Only judged on unrestricted runs — under --select the unselected
+    # passes never ran, so their suppressions legitimately match nothing.
+    if not select:
+        known_rules_ids = set(known_rules)
+        for file in project.files:
+            for suppression in file.suppressions:
+                if (file.relpath, suppression.comment_line) in used:
+                    continue
+                if not suppression.reason:
+                    continue  # already LINT-REASON
+                known = suppression.rule in known_rules_ids or any(
+                    rule_id.startswith(suppression.rule + "-")
+                    for rule_id in known_rules_ids
+                )
+                if not known:
+                    continue  # already LINT-UNKNOWN
+                findings.append(Finding(
+                    rule="LINT-UNUSED", path=file.relpath,
+                    line=suppression.comment_line,
+                    message=(
+                        f"lint-ok[{suppression.rule}] matches no finding; "
+                        "the violation it excused is gone — delete the "
+                        "comment"
+                    ),
+                ))
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
     return LintResult(
         findings=findings,
         suppressed=suppressed,
         files=len(project.files),
         passes=sorted(passes),
     )
+
+
+def apply_baseline(result: LintResult, baseline_path: Path) -> None:
+    """Attach a ratchet diff against an older ``--output`` report.
+
+    Findings are keyed by (rule, path, message) — line numbers shift on
+    every edit and would make the ratchet leak. ``result.gate`` then
+    fails the run only on findings absent from the baseline.
+    """
+    report = json.loads(baseline_path.read_text(encoding="utf-8"))
+    old = {
+        (f["rule"], f["path"], f["message"])
+        for f in report.get("findings", [])
+    }
+    new = [
+        f for f in result.findings
+        if (f.rule, f.path, f.message) not in old
+    ]
+    still = {(f.rule, f.path, f.message) for f in result.findings}
+    fixed = len([key for key in old if key not in still])
+    result.baseline = {
+        "path": str(baseline_path),
+        "baseline_total": len(old),
+        "new": [f.as_dict() for f in new],
+        "fixed": fixed,
+    }
 
 
 def _print_text(result: LintResult, stream) -> None:
@@ -163,7 +234,20 @@ def _print_text(result: LintResult, stream) -> None:
         f"{len(result.suppressed)} suppressed "
         f"[passes: {', '.join(result.passes)}]"
     )
-    print(("FAIL: " if result.findings else "OK: ") + summary, file=stream)
+    print(("FAIL: " if result.gate else "OK: ") + summary, file=stream)
+    if result.baseline is not None:
+        new = result.baseline["new"]
+        print(
+            f"baseline: {result.baseline['baseline_total']} known, "
+            f"{len(new)} new, {result.baseline['fixed']} fixed",
+            file=stream,
+        )
+        for finding in new:
+            print(
+                f"  NEW {finding['path']}:{finding['line']}: "
+                f"{finding['rule']} {finding['message']}",
+                file=stream,
+            )
 
 
 def _print_rules(stream) -> None:
@@ -195,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the report to PATH",
     )
     parser.add_argument(
+        "--baseline", default=None, metavar="OLD.json",
+        help="ratchet mode: diff against an older --output report and "
+             "exit 1 only on findings the baseline does not contain",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -222,6 +311,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.select else None
     )
     result = run_lint(paths, select=select)
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"error: no such baseline: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        try:
+            apply_baseline(result, baseline_path)
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"error: unreadable baseline report: {exc}",
+                  file=sys.stderr)
+            return 2
     if args.format == "json":
         text = json.dumps(result.as_dict(), indent=2)
         print(text)
@@ -230,7 +331,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text = json.dumps(result.as_dict(), indent=2)
     if args.output:
         Path(args.output).write_text(text + "\n", encoding="utf-8")
-    return 0 if result.clean else 1
+    return 1 if result.gate else 0
 
 
 if __name__ == "__main__":

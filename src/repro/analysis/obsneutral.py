@@ -1,0 +1,173 @@
+"""OBS-NEUTRAL: observability code never writes engine state.
+
+The whole observability stack is sold as an *observer*: tracing,
+metrics, stalls, fabric, registry and telemetry read the simulation and
+must never write it, which is what keeps instrumented runs byte-
+identical to bare ones (proven differentially in the test suite — but
+only for the configurations the tests happen to run). This pass makes
+the property static: using the interprocedural effect summaries from
+:mod:`repro.analysis.flow` it proves that no function under
+``repro.observability`` mutates a parameter typed as an engine / NoC /
+memory class, and that none writes module-level state of those
+packages.
+
+The effect analysis follows aliases (assignment, attribute/subscript
+access, iteration, unpacking) and propagates through resolved calls; a
+parameter counts as engine-typed when its annotation names a class
+defined under ``repro.engine`` / ``repro.noc`` / ``repro.memory`` (or
+an imported dotted name rooted there). Unannotated parameters are not
+judged — strict mypy keeps the interesting surfaces annotated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.core import Finding, Project, Rule, register_pass
+from repro.analysis.flow import CallGraph, FunctionNode, mutated_params
+
+#: the package whose code must be effect-free on the simulator
+OBS_PACKAGE = "repro.observability"
+
+#: packages whose state observability may read but never write
+ENGINE_PACKAGES = ("repro.engine", "repro.noc", "repro.memory")
+
+RULES = (
+    Rule(
+        id="OBS-WRITE",
+        summary="observability function mutates an engine-typed parameter",
+        rationale=(
+            "instrumentation that writes simulator state changes the "
+            "simulation it observes; the on/off byte-identity guarantee "
+            "(and every differential test built on it) silently dies"
+        ),
+    ),
+    Rule(
+        id="OBS-GLOBAL",
+        summary="observability function writes engine module state",
+        rationale=(
+            "a module-level write into repro.engine/noc/memory from the "
+            "observability layer couples instrumentation on/off to "
+            "simulated behavior"
+        ),
+    ),
+)
+
+
+def _engine_class_names(graph: CallGraph) -> Set[str]:
+    return {
+        name for name, module in graph.class_modules.items()
+        if module.startswith(ENGINE_PACKAGES)
+    }
+
+
+def _annotation_idents(annotation: ast.expr) -> Set[str]:
+    idents: Set[str] = set()
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            idents.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            idents.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # string ("forward") annotations: take the dotted tails
+            for token in node.value.replace("[", " ").replace("]", " ") \
+                    .replace(",", " ").split():
+                idents.add(token.split(".")[-1])
+    return idents
+
+
+def _engine_typed_params(
+    info: FunctionNode,
+    engine_classes: Set[str],
+    aliases: Dict[str, str],
+) -> Dict[int, str]:
+    """parameter index → annotation text, for engine-typed parameters."""
+    args = getattr(info.node, "args", None)
+    if args is None:
+        return {}
+    ordered = list(args.posonlyargs) + list(args.args)
+    if args.vararg:
+        ordered.append(args.vararg)
+    ordered.extend(args.kwonlyargs)
+    if args.kwarg:
+        ordered.append(args.kwarg)
+    typed: Dict[int, str] = {}
+    for index, arg in enumerate(ordered):
+        if arg.annotation is None:
+            continue
+        for ident in _annotation_idents(arg.annotation):
+            dotted = aliases.get(ident, "")
+            if ident in engine_classes or dotted.startswith(ENGINE_PACKAGES):
+                typed[index] = ast.unparse(arg.annotation)
+                break
+    return typed
+
+
+def _engine_module_writes(
+    info: FunctionNode, aliases: Dict[str, str]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(info.node):
+        target: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and node.targets:
+            target = node.targets[0]
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            target = node.target
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            continue
+        root = target
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            root = root.value
+        if not isinstance(root, ast.Name):
+            continue
+        dotted = aliases.get(root.id, "")
+        if dotted.startswith(ENGINE_PACKAGES):
+            findings.append(Finding(
+                rule="OBS-GLOBAL", path=info.file.relpath, line=node.lineno,
+                message=(
+                    f"{info.short} writes into {dotted} "
+                    "(engine module state) from the observability layer"
+                ),
+            ))
+    return findings
+
+
+@register_pass(
+    "OBS-NEUTRAL",
+    "effect analysis: repro.observability never mutates engine/noc/"
+    "memory-typed parameters or module state",
+    RULES,
+)
+def run(project: Project) -> List[Finding]:
+    if not project.in_packages(OBS_PACKAGE):
+        return []
+    graph = CallGraph(project)
+    engine_classes = _engine_class_names(graph)
+    summaries = mutated_params(graph)
+
+    findings: List[Finding] = []
+    for qual in sorted(graph.functions):
+        info = graph.functions[qual]
+        if not (
+            info.module == OBS_PACKAGE
+            or info.module.startswith(OBS_PACKAGE + ".")
+        ):
+            continue
+        aliases = graph.module_aliases.get(info.module, {})
+        findings.extend(_engine_module_writes(info, aliases))
+        mutated = summaries.get(qual, set())
+        if not mutated:
+            continue
+        typed = _engine_typed_params(info, engine_classes, aliases)
+        for index in sorted(mutated & set(typed)):
+            findings.append(Finding(
+                rule="OBS-WRITE", path=info.file.relpath,
+                line=getattr(info.node, "lineno", 1),
+                message=(
+                    f"{info.short} may mutate parameter "
+                    f"{info.params[index]!r} ({typed[index]}) — "
+                    "observability must only read the simulation"
+                ),
+            ))
+    return findings

@@ -2,9 +2,9 @@
 
 The differential guarantee (a ``--jobs N`` run is byte-identical to a
 serial run) requires that the code a pool worker executes is a pure
-function of its arguments. This pass builds a conservative call graph
-from the worker entry points in ``repro/parallel/runner.py`` and flags,
-anywhere in the reachable set:
+function of its arguments. This pass walks the shared interprocedural
+:class:`repro.analysis.flow.CallGraph` from the worker entry points in
+``repro/parallel/runner.py`` and flags, anywhere in the reachable set:
 
 - writes to module-level state (``global`` rebinding, mutation of a
   module-level dict/list/set) — such state diverges between the parent
@@ -23,17 +23,20 @@ and are silenced with an annotated suppression at the violating line.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.analysis.core import (
     Finding,
     Project,
     Rule,
-    SourceFile,
-    import_aliases,
     literal_assignment,
     register_pass,
+    resolve_call_name,
+)
+from repro.analysis.flow import (
+    MUTATOR_METHODS,
+    CallGraph,
+    FunctionNode,
 )
 
 #: module whose top-level functions are the pool-worker entry points
@@ -43,10 +46,7 @@ RUNNER_MODULE = "repro.parallel.runner"
 DEFAULT_ENTRY_POINTS = ("_simulate_workload", "_simulate_workload_in_worker")
 
 #: method calls that mutate a built-in container in place
-_MUTATORS = frozenset({
-    "append", "extend", "insert", "add", "update", "setdefault", "pop",
-    "popitem", "clear", "remove", "discard", "appendleft", "sort",
-})
+_MUTATORS = MUTATOR_METHODS
 
 RULES = (
     Rule(
@@ -70,134 +70,20 @@ RULES = (
     ),
 )
 
-
-@dataclass
-class FunctionInfo:
-    """One function/method and everything the call graph needs from it."""
-
-    qualname: str              # module:func or module:Class.method
-    module: str
-    file: SourceFile
-    node: ast.AST
-    class_name: Optional[str] = None
-    calls: Set[str] = field(default_factory=set)          # resolved qualnames
-    method_calls: Set[str] = field(default_factory=set)   # unresolved attrs
-    violations: List[Tuple[str, int, str]] = field(default_factory=list)
+#: (rule id, line, what) — computed per function body
+Violation = Tuple[str, int, str]
 
 
-class _Index:
-    """Project-wide function/method/class index."""
-
-    def __init__(self) -> None:
-        self.functions: Dict[str, FunctionInfo] = {}
-        self.by_method_name: Dict[str, List[str]] = {}
-        self.classes: Dict[str, Dict[str, str]] = {}  # class -> method -> qual
-        self.class_modules: Dict[str, str] = {}
-        self.class_bases: Dict[str, List[str]] = {}
-
-
-def _module_level_names(tree: ast.AST) -> Set[str]:
-    names: Set[str] = set()
-    for node in getattr(tree, "body", []):
-        if isinstance(node, ast.Assign):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    names.add(target.id)
-        elif isinstance(node, ast.AnnAssign) and isinstance(
-            node.target, ast.Name
-        ):
-            names.add(node.target.id)
-    return names
-
-
-def _build_index(project: Project) -> _Index:
-    index = _Index()
-    for file in project.files:
-        if file.tree is None:
-            continue
-        module = file.module
-        for node in file.tree.body:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                qual = f"{module}:{node.name}"
-                index.functions[qual] = FunctionInfo(
-                    qualname=qual, module=module, file=file, node=node
-                )
-            elif isinstance(node, ast.ClassDef):
-                methods: Dict[str, str] = {}
-                index.class_modules[node.name] = module
-                index.class_bases[node.name] = [
-                    base.id if isinstance(base, ast.Name) else base.attr
-                    for base in node.bases
-                    if isinstance(base, (ast.Name, ast.Attribute))
-                ]
-                for item in node.body:
-                    if isinstance(
-                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
-                    ):
-                        qual = f"{module}:{node.name}.{item.name}"
-                        index.functions[qual] = FunctionInfo(
-                            qualname=qual, module=module, file=file,
-                            node=item, class_name=node.name,
-                        )
-                        methods[item.name] = qual
-                        index.by_method_name.setdefault(
-                            item.name, []
-                        ).append(qual)
-                index.classes[node.name] = methods
-    return index
-
-
-def _local_types(node: ast.AST, known_classes: Set[str]) -> Dict[str, str]:
-    """variable name → class name, for ``x = ClassName(...)`` assignments."""
-    types: Dict[str, str] = {}
-    for statement in ast.walk(node):
-        if not isinstance(statement, ast.Assign):
-            continue
-        value = statement.value
-        if (
-            isinstance(value, ast.Call)
-            and isinstance(value.func, ast.Name)
-            and value.func.id in known_classes
-        ):
-            for target in statement.targets:
-                if isinstance(target, ast.Name):
-                    types[target.id] = value.func.id
-    return types
-
-
-def _resolve_class_method(
-    index: _Index, class_name: str, method: str
-) -> Optional[str]:
-    """Look a method up on the class, then up its known base chain."""
-    seen: Set[str] = set()
-    stack = [class_name]
-    while stack:
-        current = stack.pop(0)
-        if current in seen:
-            continue
-        seen.add(current)
-        methods = index.classes.get(current)
-        if methods and method in methods:
-            return methods[method]
-        stack.extend(index.class_bases.get(current, []))
-    return None
-
-
-def _analyze_function(
-    info: FunctionInfo,
-    index: _Index,
+def _violations(
+    info: FunctionNode,
     aliases: Dict[str, str],
     module_names: Set[str],
-    project_modules: Set[str],
-) -> None:
-    known_classes = set(index.classes)
-    local_types = _local_types(info.node, known_classes)
-
+) -> List[Violation]:
+    found: List[Violation] = []
     for node in ast.walk(info.node):
-        # ---- violations in this body ---------------------------------
         if isinstance(node, ast.Global):
             for name in node.names:
-                info.violations.append((
+                found.append((
                     "PAR-GLOBAL", node.lineno,
                     f"'global {name}' rebinds module-level state",
                 ))
@@ -213,7 +99,7 @@ def _analyze_function(
                     and isinstance(target.value, ast.Name)
                     and target.value.id in module_names
                 ):
-                    info.violations.append((
+                    found.append((
                         "PAR-GLOBAL", node.lineno,
                         f"writes into module-level container "
                         f"{target.value.id!r}",
@@ -230,111 +116,25 @@ def _analyze_function(
             and isinstance(func.value, ast.Name)
             and func.value.id in module_names
         ):
-            info.violations.append((
+            found.append((
                 "PAR-GLOBAL", node.lineno,
                 f"mutates module-level container {func.value.id!r} via "
                 f".{func.attr}()",
             ))
 
         # registry / sqlite opens
-        dotted = _dotted_name(func, aliases)
-        if dotted == "sqlite3.connect":
-            info.violations.append((
+        if resolve_call_name(func, aliases) == "sqlite3.connect":
+            found.append((
                 "PAR-REGISTRY", node.lineno,
                 "opens SQLite directly",
             ))
-        if isinstance(func, ast.Name):
-            target_class = None
-            if func.id in known_classes:
-                target_class = func.id
-            else:
-                imported = aliases.get(func.id, "")
-                tail = imported.rsplit(".", 1)[-1] if imported else ""
-                if tail in known_classes:
-                    target_class = tail
-            if target_class == "RunRegistry":
-                info.violations.append((
-                    "PAR-REGISTRY", node.lineno,
-                    "instantiates the run registry",
-                ))
-            if target_class is not None:
-                init = _resolve_class_method(index, target_class, "__init__")
-                if init:
-                    info.calls.add(init)
-
-        # ---- call-graph edges ----------------------------------------
-        if isinstance(func, ast.Name):
-            # same-module function
-            qual = f"{info.module}:{func.id}"
-            if qual in index.functions:
-                info.calls.add(qual)
-            else:
-                imported = aliases.get(func.id)
-                if imported and "." in imported:
-                    mod, _, name = imported.rpartition(".")
-                    if mod in project_modules:
-                        target = f"{mod}:{name}"
-                        if target in index.functions:
-                            info.calls.add(target)
-        elif isinstance(func, ast.Attribute):
-            receiver = func.value
-            resolved = False
-            if (
-                isinstance(receiver, ast.Call)
-                and isinstance(receiver.func, ast.Name)
-                and receiver.func.id == "super"
-            ):
-                # super().method() dispatches up the known base chain —
-                # never fan out to every same-named method in the project
-                if info.class_name is not None:
-                    for base in index.class_bases.get(info.class_name, []):
-                        target = _resolve_class_method(index, base, func.attr)
-                        if target:
-                            info.calls.add(target)
-                            break
-                resolved = True
-            if isinstance(receiver, ast.Name):
-                # precise: variable of known class, or known class itself
-                class_name = local_types.get(receiver.id)
-                if class_name is None:
-                    candidate = receiver.id
-                    if candidate not in known_classes:
-                        imported = aliases.get(candidate, "")
-                        candidate = (
-                            imported.rsplit(".", 1)[-1] if imported else ""
-                        )
-                    if candidate in known_classes:
-                        class_name = candidate
-                if class_name is not None:
-                    target = _resolve_class_method(
-                        index, class_name, func.attr
-                    )
-                    if target:
-                        info.calls.add(target)
-                    resolved = True
-                elif dotted is not None:
-                    mod, _, name = dotted.rpartition(".")
-                    if mod in project_modules:
-                        target = f"{mod}:{name}"
-                        if target in index.functions:
-                            info.calls.add(target)
-                        resolved = True
-            if isinstance(receiver, ast.Name) and receiver.id == "self" \
-                    and info.class_name is not None:
-                target = _resolve_class_method(
-                    index, info.class_name, func.attr
-                )
-                if target:
-                    info.calls.add(target)
-                resolved = True
-            if not resolved:
-                info.method_calls.add(func.attr)
-
-
-def _dotted_name(func: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
-    from repro.analysis.core import resolve_call_name
-
-    return resolve_call_name(func, aliases)
+    for class_name, lineno in info.instantiations:
+        if class_name == "RunRegistry":
+            found.append((
+                "PAR-REGISTRY", lineno,
+                "instantiates the run registry",
+            ))
+    return found
 
 
 def _entry_points(project: Project) -> List[str]:
@@ -360,48 +160,18 @@ def run(project: Project) -> List[Finding]:
     entries = _entry_points(project)
     if not entries:
         return []
-    index = _build_index(project)
-    project_modules = {f.module for f in project.files}
-
-    per_module_aliases: Dict[str, Dict[str, str]] = {}
-    per_module_names: Dict[str, Set[str]] = {}
-    for file in project.files:
-        if file.tree is None:
-            continue
-        per_module_aliases[file.module] = import_aliases(file.tree)
-        per_module_names[file.module] = _module_level_names(file.tree)
-
-    for info in index.functions.values():
-        _analyze_function(
-            info, index,
-            per_module_aliases.get(info.module, {}),
-            per_module_names.get(info.module, set()),
-            project_modules,
-        )
-
-    # breadth-first reachability, tracking one witness chain per function
-    reached: Dict[str, List[str]] = {}
-    queue: List[str] = []
-    for entry in entries:
-        if entry in index.functions and entry not in reached:
-            reached[entry] = [entry]
-            queue.append(entry)
-    while queue:
-        current = queue.pop(0)
-        info = index.functions[current]
-        targets = set(info.calls)
-        for method in info.method_calls:
-            targets.update(index.by_method_name.get(method, []))
-        for target in targets:
-            if target in reached or target not in index.functions:
-                continue
-            reached[target] = reached[current] + [target]
-            queue.append(target)
+    graph = CallGraph(project)
+    reached = graph.reachable(entries)
 
     findings: List[Finding] = []
     for qual, chain in reached.items():
-        info = index.functions[qual]
-        for rule_id, line, what in info.violations:
+        info = graph.functions[qual]
+        violations = _violations(
+            info,
+            graph.module_aliases.get(info.module, {}),
+            graph.module_level_names.get(info.module, set()),
+        )
+        for rule_id, line, what in violations:
             via = " -> ".join(q.split(":", 1)[1] for q in chain)
             findings.append(Finding(
                 rule=rule_id, path=info.file.relpath, line=line,

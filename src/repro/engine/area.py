@@ -62,7 +62,9 @@ class AreaBreakdown:
 
     @property
     def total_um2(self) -> float:
-        return sum(self.by_group_um2.values())
+        # fsum: the correctly rounded exact sum, independent of the
+        # order the group dict was built in (FLOAT-ORDER)
+        return math.fsum(self.by_group_um2.values())
 
     @property
     def total_mm2(self) -> float:

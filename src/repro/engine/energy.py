@@ -17,6 +17,7 @@ separately (the paper's breakdown excludes it).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
@@ -122,7 +123,9 @@ class EnergyBreakdown:
 
     @property
     def onchip_dynamic_uj(self) -> float:
-        return sum(
+        # fsum: the correctly rounded exact sum, independent of the
+        # order the group dict was built in (FLOAT-ORDER)
+        return math.fsum(
             value for group, value in self.by_group_uj.items() if group != "DRAM"
         )
 

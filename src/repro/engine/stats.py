@@ -88,6 +88,26 @@ KNOWN_COUNTERS: Dict[str, str] = {
     "fifo_occupancy_windows": "tier-boundary FIFO windowed occupancy series",
 }
 
+#: Counters that accumulate *simulated clock cycles*. Every site that
+#: increments one of these is a timing statement, and the stall ledger's
+#: conservation invariant (bucket sums == layer cycles) only holds if
+#: that site is charge-paired — i.e. the increment happens inside, or on
+#: a call path through, one of the CHARGE_FAMILIES functions below. The
+#: LEDGER lint pass extracts both literals statically and walks the
+#: interprocedural call graph to prove the pairing before any run.
+CYCLE_BEARING_COUNTERS: Dict[str, str] = {
+    "ctrl_cycles": "cycles the memory controller was driving the fabric",
+    "dn_busy_cycles": "cycles the distribution network moved data",
+}
+
+#: The charge-site vocabulary: a function whose name matches (exactly or
+#: by prefix), or that calls a matching function, anchors the stall /
+#: fabric attribution for every cycle-bearing increment it dominates.
+CHARGE_FAMILIES: Dict[str, List[str]] = {
+    "names": ["charge", "charge_levels"],
+    "prefixes": ["_charge_", "record_"],
+}
+
 
 @dataclass(frozen=True)
 class LayerReport:

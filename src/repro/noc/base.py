@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import abc
 from collections import Counter
-from typing import Dict, Iterator
+from typing import TYPE_CHECKING, Dict, Iterator
+
+if TYPE_CHECKING:
+    from repro.observability.tracer import NullTracer
 
 
 class CounterSet:
@@ -107,7 +110,7 @@ class ClockedComponent(abc.ABC):
         self.obs = DISABLED
 
     @property
-    def tracer(self):
+    def tracer(self) -> NullTracer:
         """The attached event tracer (the no-op NullTracer by default)."""
         return self.obs.tracer
 

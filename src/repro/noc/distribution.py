@@ -26,7 +26,10 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import List
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:
+    from repro.config.hardware import DistributionKind
 
 from repro.errors import ConfigurationError
 from repro.noc.base import ClockedComponent
@@ -329,7 +332,7 @@ class PointToPointNetwork(DistributionNetwork):
         return [max(unique_values, destinations)]
 
 
-def build_distribution_network(kind, num_leaves: int, bandwidth: int) -> DistributionNetwork:
+def build_distribution_network(kind: DistributionKind, num_leaves: int, bandwidth: int) -> DistributionNetwork:
     """Factory keyed on :class:`repro.config.DistributionKind`."""
     from repro.config.hardware import DistributionKind
 

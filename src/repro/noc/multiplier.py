@@ -16,7 +16,10 @@ Two topologies:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.config.hardware import MultiplierKind
 
 from repro.errors import ConfigurationError, MappingError
 from repro.noc.base import ClockedComponent
@@ -116,7 +119,7 @@ class MultiplierNetwork(ClockedComponent):
         self._forwarder_count = 0
 
 
-def build_multiplier_network(kind, num_ms: int) -> MultiplierNetwork:
+def build_multiplier_network(kind: MultiplierKind, num_ms: int) -> MultiplierNetwork:
     """Factory keyed on :class:`repro.config.MultiplierKind`."""
     from repro.config.hardware import MultiplierKind
 

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
+
+if TYPE_CHECKING:
+    from repro.config.hardware import ReductionKind
 
 from repro.errors import ConfigurationError, MappingError
 from repro.noc.base import ClockedComponent
@@ -309,7 +312,7 @@ class LinearReductionNetwork(ReductionNetwork):
         return self.num_inputs
 
 
-def build_reduction_network(kind, num_inputs: int, bandwidth: int, accumulation_buffer: bool = True) -> ReductionNetwork:
+def build_reduction_network(kind: ReductionKind, num_inputs: int, bandwidth: int, accumulation_buffer: bool = True) -> ReductionNetwork:
     """Factory keyed on :class:`repro.config.ReductionKind`."""
     from repro.config.hardware import ReductionKind
 

@@ -48,6 +48,37 @@ from repro.observability.telemetry.facade import telemetry
 #: treats layer["stalls"] / layer["fabric"] as optional.
 SCHEMA_VERSION = 3
 
+#: The committed shape of what :meth:`RunRecord.from_report` persists,
+#: per schema version: the top-level payload keys and the per-layer row
+#: keys. Append-only history — every version ever shipped keeps its
+#: entry so readers know what a stored record of that vintage contains.
+#: The SCHEMA-DRIFT lint pass re-derives the *current* key sets straight
+#: from the AST of ``from_report`` / ``LayerReport.to_payload`` and
+#: diffs them against the entry for SCHEMA_VERSION: changing what gets
+#: persisted without bumping the version (and appending here) is a
+#: finding before it can corrupt a single store.
+REGISTRY_SCHEMA_MANIFEST: Dict[int, Dict[str, List[str]]] = {
+    1: {
+        "payload": ["config", "layers", "metadata", "metrics", "schema",
+                    "totals", "utilization", "workload"],
+        "layer": ["counters", "cycles", "energy_total_uj", "kind", "macs",
+                  "multiplier_utilization", "name", "outputs"],
+    },
+    2: {
+        "payload": ["config", "extra", "layers", "metadata", "metrics",
+                    "schema", "totals", "utilization", "workload"],
+        "layer": ["counters", "cycles", "energy_total_uj", "kind", "macs",
+                  "multiplier_utilization", "name", "outputs", "stalls"],
+    },
+    3: {
+        "payload": ["config", "extra", "layers", "metadata", "metrics",
+                    "schema", "totals", "utilization", "workload"],
+        "layer": ["counters", "cycles", "energy_total_uj", "fabric", "kind",
+                  "macs", "multiplier_utilization", "name", "outputs",
+                  "stalls"],
+    },
+}
+
 #: environment override for the registry directory
 RUNS_DIR_ENV = "STONNE_RUNS_DIR"
 

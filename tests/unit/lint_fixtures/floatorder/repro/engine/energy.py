@@ -1,0 +1,33 @@
+"""FLOAT-ORDER fixture: order-sensitive and sanctioned reductions."""
+
+import math
+
+
+def set_total(values):
+    # FLOAT-SET: hash-ordered iterable
+    return sum({round(v, 6) for v in values})
+
+
+def dict_total(by_group):
+    # FLOAT-DICT: insertion-ordered dict view
+    return sum(by_group.values())
+
+
+def comp_over_items(by_group):
+    # FLOAT-DICT via a generator over .items()
+    return sum(v for _, v in by_group.items())
+
+
+def fsum_total(by_group):
+    # sanctioned: fsum is the correctly rounded, order-independent sum
+    return math.fsum(by_group.values())
+
+
+def sorted_total(by_group):
+    # sanctioned: an explicit order is part of the contract
+    return sum(sorted(by_group.values()))
+
+
+def list_total(values):
+    # clean: lists carry their order as part of the contract
+    return sum(values)

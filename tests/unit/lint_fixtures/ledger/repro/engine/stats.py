@@ -1,0 +1,17 @@
+"""Fixture manifest module (mirrors repro.engine.stats)."""
+
+KNOWN_COUNTERS = {
+    "ctrl_cycles": "controller cycles",
+    "dn_busy_cycles": "distribution cycles",
+    "dn_elements_sent": "elements injected",
+}
+
+CYCLE_BEARING_COUNTERS = {
+    "ctrl_cycles": "controller cycles",
+    "dn_busy_cycles": "distribution cycles",
+}
+
+CHARGE_FAMILIES = {
+    "names": ["charge", "charge_levels"],
+    "prefixes": ["_charge_", "record_"],
+}

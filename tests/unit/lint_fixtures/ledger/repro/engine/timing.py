@@ -1,0 +1,46 @@
+"""LEDGER fixture: charged paths plus one planted uncharged mutant."""
+
+
+class Ledger:
+    def charge(self, component, bucket, cycles):
+        pass
+
+
+def _charge_stalls(ledger, cycles):
+    ledger.charge("controller", "compute_busy", cycles)
+
+
+def run_tiles(counters, ledger, steps):
+    # rule 2: the increment's own function calls a charge-family name
+    counters.add("ctrl_cycles", steps)
+    _charge_stalls(ledger, steps)
+
+
+def drive_fabric(counters, ledger, steps):
+    # rule 3: the charge call happens somewhere forward-reachable
+    counters.add("dn_busy_cycles", steps)
+    finish(ledger, steps)
+
+
+def finish(ledger, steps):
+    _charge_stalls(ledger, steps)
+
+
+def record_delivery(counters, steps):
+    # rule 4 anchor: everything this reaches is attribution-dominated
+    skip_ahead(counters, steps)
+
+
+def skip_ahead(counters, steps):
+    counters.add("dn_busy_cycles", steps)
+
+
+def schedule_extra(counters, steps):
+    # the planted mutant's caller: gives the finding a witness chain
+    _bump_cycles(counters, steps)
+
+
+def _bump_cycles(counters, steps):
+    # MUTANT: a cycle-bearing increment with no path to any charge site
+    counters.add("dn_busy_cycles", steps)
+    counters.add("dn_elements_sent", steps)  # not cycle-bearing: no finding

@@ -1,0 +1,3 @@
+"""Fixture engine module whose state observability must not touch."""
+
+FLAGS = {}

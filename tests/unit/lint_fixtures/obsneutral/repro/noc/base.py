@@ -1,0 +1,12 @@
+"""Fixture engine class (mirrors repro.noc.base.CounterSet)."""
+
+
+class CounterSet:
+    def __init__(self):
+        self._counts = {}
+
+    def add(self, name, amount=1):
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name):
+        return self._counts.get(name, 0)

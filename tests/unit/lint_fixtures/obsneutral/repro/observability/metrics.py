@@ -1,0 +1,41 @@
+"""OBS-NEUTRAL fixture: observers that read, and violators that write."""
+
+import repro.engine.settings as engine_settings
+from repro.noc.base import CounterSet
+
+
+class Sampler:
+    def sample(self, counters: CounterSet) -> int:
+        # clean: reads only
+        return counters.get("mn_multiplications")
+
+    def poison(self, counters: CounterSet) -> None:
+        # direct violation: mutating-call on an engine-typed parameter
+        counters.add("mn_multiplications", 1)
+
+
+def normalize(counters: CounterSet) -> None:
+    # indirect violation: the mutation happens one call down
+    _scrub(counters)
+
+
+def _scrub(target: CounterSet) -> None:
+    target.add("gb_reads", -1)
+
+
+def aliased_write(counters: CounterSet) -> None:
+    # violation through an alias of the parameter
+    view = counters
+    view._counts["gb_reads"] = 0
+
+
+def retag() -> None:
+    # violation: writes engine module state from the observability layer
+    engine_settings.FLAGS["observed"] = True
+
+
+def summarize(counters: CounterSet) -> dict:
+    # clean: building a fresh dict from reads is not a write
+    fresh = {"total": counters.get("gb_reads")}
+    fresh["extra"] = 1
+    return fresh

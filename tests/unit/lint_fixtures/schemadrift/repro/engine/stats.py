@@ -1,0 +1,11 @@
+"""Fixture stats module: the per-layer row seed for SCHEMA-DRIFT."""
+
+
+class LayerReport:
+    def to_payload(self):
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "cycles": self.cycles,
+            "macs": self.macs,
+        }

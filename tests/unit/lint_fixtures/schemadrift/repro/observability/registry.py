@@ -1,0 +1,37 @@
+"""Fixture registry: persists keys the manifest never declared."""
+
+SCHEMA_VERSION = 2
+
+REGISTRY_SCHEMA_MANIFEST = {
+    1: {
+        "payload": ["config", "layers", "schema", "totals"],
+        "layer": ["cycles", "kind", "macs", "name"],
+    },
+    2: {
+        "payload": ["config", "extra", "layers", "schema", "totals"],
+        "layer": ["cycles", "kind", "macs", "name"],
+    },
+}
+
+
+class RunRecord:
+    @classmethod
+    def from_report(cls, report, config):
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "config": dict(config),
+            "totals": report.totals(),
+            "layers": [],
+        }
+        payload["extra"] = {}
+        # drift: persisted but absent from the manifest entry for v2
+        payload["surprise"] = report.checksum()
+        for layer in report.layers:
+            row = layer.to_payload()
+            # drift: a per-layer key the manifest never declared
+            row["debug_ns"] = layer.debug_ns
+            payload["layers"].append(row)
+        return cls(payload)
+
+    def __init__(self, payload):
+        self.payload = payload

@@ -1,0 +1,126 @@
+"""The shared interprocedural engine behind the flow-based passes."""
+
+from pathlib import Path
+
+from repro.analysis.core import Project
+from repro.analysis.flow import CallGraph, format_chain, mutated_params
+
+
+def _project(tmp_path, files):
+    for relpath, text in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    return Project.from_paths([tmp_path])
+
+
+def _graph(tmp_path, files):
+    return CallGraph(_project(tmp_path, files))
+
+
+def test_resolves_locals_methods_and_imports(tmp_path):
+    graph = _graph(tmp_path, {
+        "repro/engine/core.py": (
+            "from repro.engine.util import helper\n"
+            "class Engine:\n"
+            "    def run(self):\n"
+            "        self.step()\n"
+            "        helper()\n"
+            "    def step(self):\n"
+            "        pass\n"
+            "def drive():\n"
+            "    eng = Engine()\n"
+            "    eng.run()\n"
+        ),
+        "repro/engine/util.py": "def helper():\n    pass\n",
+    })
+    core = "repro.engine.core"
+    run = graph.callees(f"{core}:Engine.run")
+    assert f"{core}:Engine.step" in run
+    assert "repro.engine.util:helper" in run
+    drive = graph.callees(f"{core}:drive")
+    # instantiation resolves to __init__ when present; the local-type
+    # binding resolves eng.run() precisely
+    assert f"{core}:Engine.run" in drive
+
+
+def test_unresolved_attribute_calls_fan_out_by_name(tmp_path):
+    graph = _graph(tmp_path, {
+        "repro/a.py": (
+            "class One:\n"
+            "    def fire(self):\n"
+            "        pass\n"
+            "class Two:\n"
+            "    def fire(self):\n"
+            "        pass\n"
+            "def poke(thing):\n"
+            "    thing.fire()\n"
+        ),
+    })
+    targets = graph.callees("repro.a:poke")
+    assert targets == {"repro.a:One.fire", "repro.a:Two.fire"}
+    assert graph.callees("repro.a:poke", fan_out=False) == set()
+
+
+def test_reachable_records_witness_chains(tmp_path):
+    graph = _graph(tmp_path, {
+        "repro/chain.py": (
+            "def a():\n    b()\n"
+            "def b():\n    c()\n"
+            "def c():\n    pass\n"
+            "def lonely():\n    pass\n"
+        ),
+    })
+    reached = graph.reachable(["repro.chain:a"])
+    assert "repro.chain:lonely" not in reached
+    chain = reached["repro.chain:c"]
+    assert format_chain(graph, chain) == "a -> b -> c"
+
+
+def test_caller_chain_walks_to_the_outermost_caller(tmp_path):
+    graph = _graph(tmp_path, {
+        "repro/chain.py": (
+            "def outer():\n    mid()\n"
+            "def mid():\n    leaf()\n"
+            "def leaf():\n    pass\n"
+        ),
+    })
+    inverse = graph.callers()
+    chain = graph.caller_chain("repro.chain:leaf", inverse)
+    assert format_chain(graph, chain) == "outer -> mid -> leaf"
+
+
+def test_mutated_params_direct_alias_and_propagated(tmp_path):
+    graph = _graph(tmp_path, {
+        "repro/fx.py": (
+            "def direct(box):\n"
+            "    box['k'] = 1\n"
+            "def via_alias(box):\n"
+            "    view = box\n"
+            "    view.append(2)\n"
+            "def delegator(box):\n"
+            "    direct(box)\n"
+            "def reader(box):\n"
+            "    return box['k']\n"
+        ),
+    })
+    summaries = mutated_params(graph)
+    assert summaries.get("repro.fx:direct") == {0}
+    assert summaries.get("repro.fx:via_alias") == {0}
+    assert summaries.get("repro.fx:delegator") == {0}
+    assert not summaries.get("repro.fx:reader")
+
+
+def test_call_results_are_not_tainted(tmp_path):
+    # mutating a fresh object *returned* by a method on the parameter
+    # is not a mutation of the parameter itself
+    graph = _graph(tmp_path, {
+        "repro/fx.py": (
+            "def edit_copy(layer):\n"
+            "    row = layer.to_payload()\n"
+            "    row.pop('extra')\n"
+            "    return row\n"
+        ),
+    })
+    summaries = mutated_params(graph)
+    assert not summaries.get("repro.fx:edit_copy")

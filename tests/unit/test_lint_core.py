@@ -100,7 +100,7 @@ def test_cli_json_report(tmp_path, capsys):
     report = json.loads(out.read_text(encoding="utf-8"))
     printed = json.loads(capsys.readouterr().out)
     assert printed == report
-    assert report["schema"] == 1
+    assert report["schema"] == 2
     assert report["tool"] == "stonne-lint"
     assert report["summary"]["total"] == len(report["findings"])
     for finding in report["findings"]:

@@ -1,0 +1,41 @@
+"""FLOAT-ORDER pass: order-sensitive float accumulation."""
+
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def test_set_and_dict_view_sums_fire():
+    result = run_lint([FIXTURES / "floatorder"], select=["FLOAT-ORDER"])
+    by_rule = {}
+    for finding in result.findings:
+        by_rule.setdefault(finding.rule, []).append(finding)
+    (set_sum,) = by_rule["FLOAT-SET"]
+    assert "hash-ordered set" in set_sum.message
+    assert len(by_rule["FLOAT-DICT"]) == 2  # .values() + genexp over .items()
+    assert set(by_rule) == {"FLOAT-SET", "FLOAT-DICT"}
+
+
+def test_sanctioned_forms_stay_clean():
+    result = run_lint([FIXTURES / "floatorder"], select=["FLOAT-ORDER"])
+    lines = {f.line for f in result.findings}
+    text = (
+        FIXTURES / "floatorder" / "repro" / "engine" / "energy.py"
+    ).read_text(encoding="utf-8")
+    for needle in ("math.fsum", "sum(sorted(", "sum(values)"):
+        line = next(
+            i for i, row in enumerate(text.splitlines(), 1) if needle in row
+        )
+        assert line not in lines
+
+
+def test_out_of_scope_packages_are_ignored(tmp_path):
+    mod = tmp_path / "repro" / "ui" / "pretty.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text(
+        "def total(d):\n    return sum(d.values())\n", encoding="utf-8"
+    )
+    result = run_lint([tmp_path], select=["FLOAT-ORDER"])
+    assert result.findings == []

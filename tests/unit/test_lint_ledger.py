@@ -1,0 +1,44 @@
+"""LEDGER pass: cycle-bearing increments must be charge-paired."""
+
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def test_only_the_planted_mutant_fires_with_a_witness_chain():
+    result = run_lint([FIXTURES / "ledger"], select=["LEDGER"])
+    (finding,) = result.findings
+    assert finding.rule == "LEDGER-UNCHARGED"
+    assert finding.path.endswith("repro/engine/timing.py")
+    assert "'dn_busy_cycles'" in finding.message
+    assert "_bump_cycles" in finding.message
+    # the witness chain names the outermost caller of the mutant
+    assert "schedule_extra -> _bump_cycles" in finding.message
+    # dn_elements_sent is not cycle-bearing: the sibling add in the same
+    # function must NOT fire
+    assert "dn_elements_sent" not in finding.message
+
+
+def test_charged_paths_do_not_fire():
+    result = run_lint([FIXTURES / "ledger"], select=["LEDGER"])
+    lines = {f.line for f in result.findings}
+    # run_tiles (sibling charge), drive_fabric (forward-reachable charge)
+    # and skip_ahead (dominated by record_delivery) are all paired
+    assert lines == {45}
+
+
+def test_missing_manifest_literals_are_findings(tmp_path):
+    stats = tmp_path / "repro" / "engine" / "stats.py"
+    stats.parent.mkdir(parents=True)
+    stats.write_text("KNOWN_COUNTERS = {}\n", encoding="utf-8")
+    result = run_lint([tmp_path], select=["LEDGER"])
+    assert [f.rule for f in result.findings] == [
+        "LEDGER-MANIFEST", "LEDGER-MANIFEST",
+    ]
+
+
+def test_tree_without_stats_module_has_nothing_to_check():
+    result = run_lint([FIXTURES / "clean"], select=["LEDGER"])
+    assert result.findings == []

@@ -1,0 +1,49 @@
+"""OBS-NEUTRAL pass: observability must only read the simulation."""
+
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def _findings():
+    result = run_lint([FIXTURES / "obsneutral"], select=["OBS-NEUTRAL"])
+    by_rule = {}
+    for finding in result.findings:
+        by_rule.setdefault(finding.rule, []).append(finding)
+    return by_rule
+
+
+def test_writes_into_engine_typed_params_fire():
+    by_rule = _findings()
+    names = {f.message.split()[0] for f in by_rule["OBS-WRITE"]}
+    # direct mutator call, propagation through a callee (both ends),
+    # and a write through a local alias of the parameter
+    assert names == {
+        "Sampler.poison", "normalize", "_scrub", "aliased_write",
+    }
+    for finding in by_rule["OBS-WRITE"]:
+        assert "CounterSet" in finding.message
+
+
+def test_engine_module_state_write_fires():
+    by_rule = _findings()
+    (finding,) = by_rule["OBS-GLOBAL"]
+    assert "retag" in finding.message
+    assert "repro.engine.settings" in finding.message
+
+
+def test_readers_stay_clean():
+    by_rule = _findings()
+    flagged = {
+        f.message.split()[0]
+        for findings in by_rule.values() for f in findings
+    }
+    assert "Sampler.sample" not in flagged
+    assert "summarize" not in flagged
+
+
+def test_tree_without_observability_package_is_skipped():
+    result = run_lint([FIXTURES / "ledger"], select=["OBS-NEUTRAL"])
+    assert result.findings == []

@@ -1,0 +1,68 @@
+"""SCHEMA-DRIFT pass: persisted keys vs the committed manifest."""
+
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def _write_registry(tmp_path, text):
+    registry = tmp_path / "repro" / "observability" / "registry.py"
+    registry.parent.mkdir(parents=True, exist_ok=True)
+    registry.write_text(text, encoding="utf-8")
+    return tmp_path
+
+
+def test_undeclared_payload_and_layer_keys_fire():
+    result = run_lint([FIXTURES / "schemadrift"], select=["SCHEMA-DRIFT"])
+    assert [f.rule for f in result.findings] == [
+        "SCHEMA-DRIFT", "SCHEMA-DRIFT",
+    ]
+    # sorted by line: the layer finding anchors at from_report's def,
+    # the payload finding at the payload dict literal below it
+    layer, payload = result.findings
+    assert "payload key(s) ['surprise']" in payload.message
+    assert "layer key(s) ['debug_ns']" in layer.message
+    for finding in result.findings:
+        assert "bump the version" in finding.message
+
+
+def test_missing_manifest_is_a_version_finding(tmp_path):
+    _write_registry(tmp_path, "SCHEMA_VERSION = 1\n")
+    result = run_lint([tmp_path], select=["SCHEMA-DRIFT"])
+    (finding,) = result.findings
+    assert finding.rule == "SCHEMA-VERSION"
+    assert "REGISTRY_SCHEMA_MANIFEST" in finding.message
+
+
+def test_version_without_manifest_entry_fires(tmp_path):
+    _write_registry(
+        tmp_path,
+        "SCHEMA_VERSION = 3\n"
+        "REGISTRY_SCHEMA_MANIFEST = {1: {'payload': [], 'layer': []}}\n",
+    )
+    result = run_lint([tmp_path], select=["SCHEMA-DRIFT"])
+    (finding,) = result.findings
+    assert finding.rule == "SCHEMA-VERSION"
+    assert "no entry" in finding.message
+
+
+def test_manifest_newer_than_version_fires(tmp_path):
+    _write_registry(
+        tmp_path,
+        "SCHEMA_VERSION = 1\n"
+        "REGISTRY_SCHEMA_MANIFEST = {\n"
+        "    1: {'payload': [], 'layer': []},\n"
+        "    2: {'payload': [], 'layer': []},\n"
+        "}\n",
+    )
+    result = run_lint([tmp_path], select=["SCHEMA-DRIFT"])
+    (finding,) = result.findings
+    assert finding.rule == "SCHEMA-VERSION"
+    assert "append-only" in finding.message
+
+
+def test_tree_without_registry_is_skipped():
+    result = run_lint([FIXTURES / "clean"], select=["SCHEMA-DRIFT"])
+    assert result.findings == []

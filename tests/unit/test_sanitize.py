@@ -1,0 +1,83 @@
+"""The dual-run sanitizer: perturbation harness + verdict plumbing."""
+
+import json
+
+from repro.analysis.sanitize import _first_divergence, main
+from repro.ui.cli import main as cli_main
+
+ARGS = ["--model", "alexnet", "--arch", "tpu", "--num-ms", "16"]
+
+
+def test_clean_run_is_byte_identical(tmp_path, capsys):
+    out = tmp_path / "verdict.json"
+    code = main([*ARGS, "--out", str(out)])
+    assert code == 0
+    assert "byte-identical" in capsys.readouterr().out
+    verdict = json.loads(out.read_text(encoding="utf-8"))
+    assert verdict["tool"] == "stonne-sanitize"
+    (result,) = verdict["results"]
+    assert result["status"] == "ok"
+    assert result["model"] == "alexnet"
+    assert result["layers"] == 10
+    assert result["windows"] == 3
+
+
+def test_seeded_float_order_mutant_is_caught(tmp_path, capsys):
+    out = tmp_path / "verdict.json"
+    code = main([*ARGS, "--mutant", "float-order", "--out", str(out)])
+    assert code == 1
+    assert "checksum" in capsys.readouterr().out
+    (result,) = json.loads(out.read_text(encoding="utf-8"))["results"]
+    assert result["status"] == "divergence"
+    assert "checksum" in result["detail"]
+
+
+def test_invalid_configuration_is_an_error(tmp_path, capsys):
+    # tpu needs a square PE count; 8 is the child blowing up, not a
+    # divergence — reported as status=error with exit 2
+    out = tmp_path / "verdict.json"
+    code = main([
+        "--model", "alexnet", "--arch", "tpu", "--num-ms", "8",
+        "--out", str(out),
+    ])
+    assert code == 2
+    (result,) = json.loads(out.read_text(encoding="utf-8"))["results"]
+    assert result["status"] == "error"
+    assert "square PE count" in result["detail"]
+    capsys.readouterr()
+
+
+def test_keep_dir_retains_child_documents(tmp_path, capsys):
+    keep = tmp_path / "docs"
+    code = main([*ARGS, "--keep-dir", str(keep)])
+    assert code == 0
+    capsys.readouterr()
+    docs = sorted(p.name for p in keep.glob("*.json"))
+    assert docs == ["alexnet-perturbed.json", "alexnet-reference.json"]
+    ref = json.loads((keep / "alexnet-reference.json").read_text())
+    assert ref["model"] == "alexnet"
+    assert len(ref["layers"]) == 10
+    assert ref["conservation"]["violations"] == []
+
+
+def test_first_divergence_names_the_earliest_layer_and_key():
+    ref = {
+        "totals": {"cycles": 10},
+        "layers": [
+            {"name": "conv1", "cycles": 4},
+            {"name": "conv2", "cycles": 6},
+        ],
+    }
+    per = json.loads(json.dumps(ref))
+    per["layers"][1]["cycles"] = 7
+    detail = _first_divergence(ref, per)
+    assert "conv2" in detail
+    assert "cycles" in detail
+
+
+def test_cli_sanitize_passthrough(tmp_path, capsys):
+    out = tmp_path / "verdict.json"
+    code = cli_main(["sanitize", *ARGS, "--out", str(out)])
+    assert code == 0
+    capsys.readouterr()
+    assert json.loads(out.read_text(encoding="utf-8"))["results"]

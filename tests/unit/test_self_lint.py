@@ -15,7 +15,8 @@ def test_src_repro_lints_clean():
     ] == []
     assert result.files > 50  # the whole package was actually scanned
     assert set(result.passes) == {
-        "CACHE-KEY", "COUNTER", "DET", "EXC", "PAR-SAFE",
+        "CACHE-KEY", "COUNTER", "DET", "EXC", "FLOAT-ORDER", "LEDGER",
+        "OBS-NEUTRAL", "PAR-SAFE", "SCHEMA-DRIFT",
     }
 
 
